@@ -1,0 +1,35 @@
+//! Arithmetic substrate for the Hierarchical Artifact System verifier.
+//!
+//! The paper (Section 5) handles arithmetic constraints over numeric artifact
+//! variables by partitioning the space of numeric valuations into *cells* —
+//! sign conditions over a finite set of polynomials — and notes that one may
+//! equivalently restrict to **linear inequalities with integer coefficients
+//! over the rationals** "with the same complexity results". This crate
+//! implements exactly that alternative:
+//!
+//! * [`Rational`] — exact rational numbers on `i128` with overflow-checked
+//!   normalization.
+//! * [`LinExpr`] / [`LinearConstraint`] — linear expressions and (in)equality
+//!   constraints over an arbitrary ordered variable type.
+//! * [`fm`] — Fourier–Motzkin elimination: satisfiability over ℚ and
+//!   existential projection (the quantifier-elimination step the paper obtains
+//!   from Tarski–Seidenberg in the polynomial case).
+//! * [`cells`] — sign conditions, non-empty cell enumeration, refinement and
+//!   projection of cells.
+//! * [`hcd`] — the Hierarchical Cell Decomposition of Section 5 / Appendix D,
+//!   computed bottom-up along a task hierarchy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod fm;
+pub mod hcd;
+pub mod linear;
+pub mod rational;
+
+pub use cells::{Cell, CellId, CellSet, Sign, SignCondition};
+pub use fm::{eliminate_variable, is_satisfiable, project_onto};
+pub use hcd::{HcdBuilder, HierarchicalCellDecomposition, TaskCells};
+pub use linear::{LinExpr, LinearConstraint, RelOp};
+pub use rational::Rational;

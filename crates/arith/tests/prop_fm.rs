@@ -1,0 +1,133 @@
+//! Property-based tests for the arithmetic substrate.
+//!
+//! These check the two facts the verifier relies on:
+//! * `sample_point` only returns genuine witnesses, and agrees with
+//!   brute-force satisfiability detection on small integer grids;
+//! * existential projection (`eliminate_variable`) is sound and complete with
+//!   respect to the original system on sampled points.
+
+use has_arith::{eliminate_variable, fm, LinExpr, LinearConstraint, Rational, RelOp};
+use proptest::prelude::*;
+
+type Var = u8;
+
+fn rat(n: i64) -> Rational {
+    Rational::from_int(n)
+}
+
+/// Strategy: a random linear constraint over variables 0..nvars with small
+/// integer coefficients.
+fn arb_constraint(nvars: u8) -> impl Strategy<Value = LinearConstraint<Var>> {
+    let coeffs = proptest::collection::vec(-3i64..=3, nvars as usize);
+    let constant = -5i64..=5;
+    let op = prop_oneof![
+        Just(RelOp::Lt),
+        Just(RelOp::Le),
+        Just(RelOp::Eq),
+        Just(RelOp::Ne),
+        Just(RelOp::Gt),
+        Just(RelOp::Ge),
+    ];
+    (coeffs, constant, op).prop_map(move |(cs, k, op)| {
+        let mut e = LinExpr::constant(rat(k));
+        for (i, c) in cs.into_iter().enumerate() {
+            e.add_term(rat(c), i as u8);
+        }
+        LinearConstraint::new(e, op)
+    })
+}
+
+fn arb_system(nvars: u8, max_len: usize) -> impl Strategy<Value = Vec<LinearConstraint<Var>>> {
+    proptest::collection::vec(arb_constraint(nvars), 0..max_len)
+}
+
+/// Brute-force satisfiability over a small rational grid (integers and
+/// halves in [-6, 6]). Only used as a one-sided oracle: if the grid contains
+/// a solution the system is satisfiable.
+fn grid_satisfiable(system: &[LinearConstraint<Var>], nvars: u8) -> bool {
+    let grid: Vec<Rational> = (-12..=12).map(|n| Rational::new(n, 2)).collect();
+    let mut assignment = vec![Rational::ZERO; nvars as usize];
+    fn rec(
+        system: &[LinearConstraint<Var>],
+        grid: &[Rational],
+        assignment: &mut Vec<Rational>,
+        idx: usize,
+    ) -> bool {
+        if idx == assignment.len() {
+            return system
+                .iter()
+                .all(|c| c.eval(|v| Some(assignment[*v as usize])) == Some(true));
+        }
+        for &g in grid {
+            assignment[idx] = g;
+            if rec(system, grid, assignment, idx + 1) {
+                return true;
+            }
+        }
+        false
+    }
+    rec(system, &grid, &mut assignment, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any witness returned by `sample_point` satisfies every constraint.
+    #[test]
+    fn sample_point_is_a_witness(system in arb_system(3, 5)) {
+        if let Some(pt) = fm::sample_point(&system) {
+            let get = |v: &Var| {
+                pt.iter().find(|(w, _)| w == v).map(|(_, r)| *r).or(Some(Rational::ZERO))
+            };
+            for c in &system {
+                prop_assert_eq!(c.eval(get), Some(true), "violated {} at {:?}", c, pt);
+            }
+        }
+    }
+
+    /// If a small-grid solution exists, `is_satisfiable` must report true
+    /// (completeness on the grid).
+    #[test]
+    fn grid_solutions_are_found(system in arb_system(2, 4)) {
+        if grid_satisfiable(&system, 2) {
+            prop_assert!(fm::is_satisfiable(&system));
+        }
+    }
+
+    /// If `is_satisfiable` reports false, no grid point satisfies the system
+    /// (soundness of unsatisfiability answers).
+    #[test]
+    fn unsat_answers_are_sound(system in arb_system(2, 4)) {
+        if !fm::is_satisfiable(&system) {
+            prop_assert!(!grid_satisfiable(&system, 2));
+        }
+    }
+
+    /// Projection soundness: every witness of the original system projects to
+    /// a point satisfying some disjunct of the eliminated system.
+    #[test]
+    fn elimination_is_sound(system in arb_system(3, 4)) {
+        let var: Var = 0;
+        if let Some(pt) = fm::sample_point(&system) {
+            let disjuncts = eliminate_variable(&system, &var);
+            let get = |v: &Var| {
+                pt.iter().find(|(w, _)| w == v).map(|(_, r)| *r).or(Some(Rational::ZERO))
+            };
+            let ok = disjuncts.iter().any(|d| {
+                d.iter().all(|c| c.eval(get) == Some(true))
+            });
+            prop_assert!(ok, "projection lost the witness {:?}", pt);
+        }
+    }
+
+    /// Projection completeness: if the eliminated system is satisfiable, the
+    /// original system has a solution too (for some value of the eliminated
+    /// variable).
+    #[test]
+    fn elimination_is_complete(system in arb_system(3, 4)) {
+        let var: Var = 0;
+        let disjuncts = eliminate_variable(&system, &var);
+        let any_sat = disjuncts.iter().any(|d| fm::is_satisfiable(d));
+        prop_assert_eq!(any_sat, fm::is_satisfiable(&system));
+    }
+}

@@ -1,0 +1,57 @@
+//! EXP-F4 — growth of the Hierarchical Cell Decomposition (Section 5 /
+//! Appendix D).
+//!
+//! The number of non-empty cells grows exponentially with the number of
+//! numeric expressions per task and is compounded by projection through the
+//! hierarchy. This bench measures cell enumeration for growing variable
+//! counts and HCD construction for growing hierarchy depths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use has_arith::{CellSet, HcdBuilder, LinExpr, Rational};
+
+fn polynomials(nvars: usize) -> Vec<LinExpr<usize>> {
+    // x_i - x_{i+1} and x_i - c hyperplanes.
+    let mut polys = Vec::new();
+    for i in 0..nvars {
+        polys.push(LinExpr::var(i) - LinExpr::constant(Rational::from_int(i as i64)));
+        if i + 1 < nvars {
+            polys.push(LinExpr::var(i) - LinExpr::var(i + 1));
+        }
+    }
+    polys
+}
+
+fn cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_decomposition");
+    group.sample_size(10);
+    for nvars in [1usize, 2, 3, 4] {
+        let polys = polynomials(nvars);
+        group.bench_with_input(BenchmarkId::new("cellset", nvars), &polys, |b, p| {
+            b.iter(|| CellSet::enumerate(p).len())
+        });
+    }
+    for depth in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("hcd_depth", depth), &depth, |b, &d| {
+            b.iter(|| {
+                let mut builder: HcdBuilder<usize> = HcdBuilder::new();
+                for level in 0..d {
+                    let parent = if level == 0 { None } else { Some(level - 1) };
+                    builder = builder.task(
+                        level,
+                        parent,
+                        polynomials(2)
+                            .into_iter()
+                            .map(|p| p.rename(|v| v + level * 10))
+                            .collect(),
+                        vec![(level * 10, (level.saturating_sub(1)) * 10)],
+                    );
+                }
+                builder.build().total_cells()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cells);
+criterion_main!(benches);

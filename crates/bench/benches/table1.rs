@@ -1,0 +1,55 @@
+//! EXP-T1 — Table 1 (verification **without** arithmetic).
+//!
+//! The paper's Table 1 places verification in PSPACE for acyclic schemas
+//! without artifact relations and lets the cost climb through EXPSPACE and
+//! beyond as the schema becomes (linearly-)cyclic and artifact relations are
+//! added. This bench sweeps the same grid — schema class × artifact
+//! relations — on generated workloads of fixed specification size, so the
+//! *relative* cost ordering of the six cells can be compared.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use has_bench::{fast_config, measure};
+use has_model::SchemaClass;
+use has_workloads::generator::GeneratorParams;
+
+fn table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_no_arithmetic");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for class in [
+        SchemaClass::Acyclic,
+        SchemaClass::LinearlyCyclic,
+        SchemaClass::Cyclic,
+    ] {
+        for artifact_relations in [false, true] {
+            let params = GeneratorParams {
+                schema_class: class,
+                artifact_relations,
+                arithmetic: false,
+                depth: 2,
+                width: 1,
+                numeric_vars: 1,
+            };
+            let generated = params.generate();
+            let id = BenchmarkId::new(
+                format!("{class}"),
+                if artifact_relations { "with-set" } else { "no-set" },
+            );
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    measure(
+                        &generated.label,
+                        &generated.system,
+                        &generated.property,
+                        fast_config(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! EXP-T2 — Table 2 (verification **with** arithmetic).
+//!
+//! Same grid as Table 1 but with linear arithmetic constraints in the
+//! specification and the Hierarchical Cell Decomposition enabled in the
+//! verifier; each cell of the grid is expected to cost at least as much as
+//! the corresponding Table 1 cell, with the extra cost growing with the
+//! number of numeric variables (EXP-F4 isolates that growth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use has_bench::{fast_config, measure};
+use has_core::VerifierConfig;
+use has_model::SchemaClass;
+use has_workloads::generator::GeneratorParams;
+
+fn table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_with_arithmetic");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for class in [
+        SchemaClass::Acyclic,
+        SchemaClass::LinearlyCyclic,
+        SchemaClass::Cyclic,
+    ] {
+        for artifact_relations in [false, true] {
+            let params = GeneratorParams {
+                schema_class: class,
+                artifact_relations,
+                arithmetic: true,
+                depth: 2,
+                width: 1,
+                numeric_vars: 1,
+            };
+            let generated = params.generate();
+            let config = VerifierConfig {
+                use_cells: true,
+                ..fast_config()
+            };
+            let id = BenchmarkId::new(
+                format!("{class}"),
+                if artifact_relations { "with-set" } else { "no-set" },
+            );
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    measure(
+                        &generated.label,
+                        &generated.system,
+                        &generated.property,
+                        config.clone(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

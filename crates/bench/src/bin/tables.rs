@@ -1,0 +1,177 @@
+//! Paper-style table harness: prints one measured row per cell of the
+//! paper's Tables 1 and 2 plus the figure-level experiments, in the format
+//! recorded in EXPERIMENTS.md.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p has-bench --bin tables            # all experiments
+//! cargo run --release -p has-bench --bin tables -- table1  # one experiment
+//! ```
+
+use has_arith::{CellSet, LinExpr, Rational};
+use has_bench::{bench_config, fast_config, measure, Measurement};
+use has_core::VerifierConfig;
+use has_model::SchemaClass;
+use has_vass::{CoverabilityGraph, Vass};
+use has_workloads::counters::{counter_gadget, counter_liveness_property};
+use has_workloads::generator::GeneratorParams;
+use has_workloads::orders::{never_enqueue_property, order_fulfilment, ship_after_quote_property};
+use has_workloads::travel::{travel_booking, travel_property, TravelVariant};
+
+fn table_grid(arithmetic: bool) -> Vec<Measurement> {
+    let mut rows = Vec::new();
+    for class in [
+        SchemaClass::Acyclic,
+        SchemaClass::LinearlyCyclic,
+        SchemaClass::Cyclic,
+    ] {
+        for artifact_relations in [false, true] {
+            let params = GeneratorParams {
+                schema_class: class,
+                artifact_relations,
+                arithmetic,
+                depth: 2,
+                width: 1,
+                numeric_vars: if arithmetic { 2 } else { 1 },
+            };
+            let generated = params.generate();
+            let config = VerifierConfig {
+                use_cells: arithmetic,
+                ..bench_config()
+            };
+            rows.push(measure(
+                &generated.label,
+                &generated.system,
+                &generated.property,
+                config,
+            ));
+        }
+    }
+    rows
+}
+
+fn exp_table1() {
+    println!("== EXP-T1: Table 1 (no arithmetic) — schema class x artifact relations ==");
+    println!("{}", Measurement::header());
+    for row in table_grid(false) {
+        println!("{}", row.row());
+    }
+    println!();
+}
+
+fn exp_table2() {
+    println!("== EXP-T2: Table 2 (with arithmetic) — schema class x artifact relations ==");
+    println!("{}", Measurement::header());
+    for row in table_grid(true) {
+        println!("{}", row.row());
+    }
+    println!();
+}
+
+fn exp_travel() {
+    println!("== EXP-F1: travel booking (Appendix A) — buggy vs fixed ==");
+    println!("{}", Measurement::header());
+    for variant in [TravelVariant::Buggy, TravelVariant::Fixed] {
+        let t = travel_booking(variant);
+        let property = travel_property(&t);
+        let row = measure(
+            &format!("travel-booking/{variant:?}"),
+            &t.system,
+            &property,
+            fast_config(),
+        );
+        println!("{}", row.row());
+    }
+    // The orders workload doubles as a second realistic process.
+    let o = order_fulfilment();
+    for (name, property) in [
+        ("orders/ship-after-quote", ship_after_quote_property(&o)),
+        ("orders/never-enqueue(false)", never_enqueue_property(&o)),
+    ] {
+        let row = measure(name, &o.system, &property, bench_config());
+        println!("{}", row.row());
+    }
+    println!();
+}
+
+fn exp_gadget() {
+    println!("== EXP-F2: Theorem 11 counter gadget — HLTL-FO stays tractable ==");
+    println!("{}", Measurement::header());
+    for d in [1usize, 2, 3] {
+        let g = counter_gadget(d);
+        let property = counter_liveness_property(&g);
+        let row = measure(
+            &format!("counter-gadget/d={d}"),
+            &g.system,
+            &property,
+            fast_config(),
+        );
+        println!("{}", row.row());
+    }
+    println!();
+}
+
+fn exp_vass() {
+    println!("== EXP-F3: VASS dimension vs coverability cost ==");
+    println!("{:<20} {:>12} {:>12}", "dimension", "km-nodes", "lasso");
+    for d in [1usize, 2, 3, 4, 5] {
+        let mut v = Vass::new(2, d);
+        for i in 0..d {
+            let mut up = vec![0i64; d];
+            up[i] = 1;
+            v.add_action(0, up, 0);
+            let mut down = vec![0i64; d];
+            down[i] = -1;
+            v.add_action(1, down, 1);
+        }
+        v.add_action(0, vec![0; d], 1);
+        let g = CoverabilityGraph::build(&v, 0);
+        println!(
+            "{:<20} {:>12} {:>12}",
+            d,
+            g.node_count(),
+            v.state_repeated_reachable(0, 0, Some(32))
+        );
+    }
+    println!();
+}
+
+fn exp_cells() {
+    println!("== EXP-F4: cell decomposition growth ==");
+    println!("{:<20} {:>12}", "numeric vars", "cells");
+    for nvars in [1usize, 2, 3, 4, 5] {
+        let mut polys: Vec<LinExpr<usize>> = Vec::new();
+        for i in 0..nvars {
+            polys.push(LinExpr::var(i) - LinExpr::constant(Rational::from_int(i as i64)));
+            if i + 1 < nvars {
+                polys.push(LinExpr::var(i) - LinExpr::var(i + 1));
+            }
+        }
+        let cells = CellSet::enumerate(&polys).len();
+        println!("{:<20} {:>12}", nvars, cells);
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    if want("table1") {
+        exp_table1();
+    }
+    if want("table2") {
+        exp_table2();
+    }
+    if want("travel") {
+        exp_travel();
+    }
+    if want("gadget") {
+        exp_gadget();
+    }
+    if want("vass") {
+        exp_vass();
+    }
+    if want("cells") {
+        exp_cells();
+    }
+}

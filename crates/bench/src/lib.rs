@@ -1,0 +1,112 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The benches in `benches/` (one per paper table/figure — see DESIGN.md §3)
+//! and the `tables` binary both go through [`measure`], which runs the
+//! verifier on a workload and extracts the cost measures the paper's
+//! complexity analysis talks about: wall time, symbolic control states,
+//! Karp–Miller coverability nodes, counter dimensions and HCD cells.
+
+use has_core::{Outcome, Verifier, VerifierConfig};
+use has_ltl::HltlFormula;
+use has_model::ArtifactSystem;
+use std::time::{Duration, Instant};
+
+/// The cost measures of one verification run.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Label of the instance.
+    pub label: String,
+    /// Whether the property holds.
+    pub holds: bool,
+    /// Wall-clock time.
+    pub time: Duration,
+    /// Symbolic control states constructed across all per-task VASS.
+    pub control_states: usize,
+    /// Karp–Miller coverability-graph nodes.
+    pub coverability_nodes: usize,
+    /// Total counter dimensions (TS-isomorphism types).
+    pub counter_dimensions: usize,
+    /// Cells of the hierarchical cell decomposition (0 without arithmetic).
+    pub hcd_cells: usize,
+}
+
+impl Measurement {
+    /// One formatted row for the `tables` binary.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<42} {:>7} {:>9} {:>9} {:>6} {:>7} {:>9.1}",
+            self.label,
+            if self.holds { "holds" } else { "viol." },
+            self.control_states,
+            self.coverability_nodes,
+            self.counter_dimensions,
+            self.hcd_cells,
+            self.time.as_secs_f64() * 1000.0
+        )
+    }
+
+    /// The header matching [`Measurement::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<42} {:>7} {:>9} {:>9} {:>6} {:>7} {:>9}",
+            "instance", "result", "states", "km-nodes", "dims", "cells", "time(ms)"
+        )
+    }
+}
+
+/// Runs the verifier on one instance and collects the measurement.
+pub fn measure(
+    label: &str,
+    system: &ArtifactSystem,
+    property: &HltlFormula,
+    config: VerifierConfig,
+) -> Measurement {
+    let start = Instant::now();
+    let outcome: Outcome = Verifier::with_config(system, property, config).verify();
+    let time = start.elapsed();
+    Measurement {
+        label: label.to_string(),
+        holds: outcome.holds,
+        time,
+        control_states: outcome.stats.control_states,
+        coverability_nodes: outcome.stats.coverability_nodes,
+        counter_dimensions: outcome.stats.counter_dimensions,
+        hcd_cells: outcome.stats.hcd_cells,
+    }
+}
+
+/// The verifier configuration used by the benchmarks: modest caps so the
+/// sweeps finish quickly while the *relative* cost ordering remains visible.
+pub fn bench_config() -> VerifierConfig {
+    VerifierConfig {
+        max_successors: 48,
+        max_control_states: 3_000,
+        km_node_cap: 20_000,
+        ..VerifierConfig::default()
+    }
+}
+
+/// A tighter configuration for the criterion benches and the large
+/// hand-written workloads (travel booking): the per-iteration cost stays in
+/// the hundreds of milliseconds so timing sweeps remain practical. With
+/// these caps the verifier explicitly reports a *bounded* search; see
+/// EXPERIMENTS.md on how to re-run with larger budgets.
+pub fn fast_config() -> VerifierConfig {
+    VerifierConfig {
+        max_successors: 24,
+        max_control_states: 800,
+        lasso_cycle_bound: Some(24),
+        km_node_cap: 4_000,
+        ..VerifierConfig::default()
+    }
+}
+
+/// The configuration used for `bench_config` callers that also want a bound
+/// on coverability-graph size (kept separate so the two knobs can be swept
+/// independently in EXPERIMENTS.md).
+pub fn capped_km(config: VerifierConfig, cap: usize) -> VerifierConfig {
+    VerifierConfig {
+        km_node_cap: cap,
+        ..config
+    }
+}

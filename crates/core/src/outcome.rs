@@ -1,0 +1,166 @@
+//! Verification outcomes, witnesses and statistics.
+
+use has_model::TaskId;
+use std::fmt;
+
+/// How the reported violation manifests at the root task (the three path
+/// kinds of Lemma 21).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The root task has an infinite local run (a lasso in `V(T1, β)`).
+    Lasso,
+    /// The root task blocks forever on a child that never returns.
+    Blocking,
+    /// A returning path (only possible for non-root tasks; reported when a
+    /// sub-call witnesses the violation).
+    Returning,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::Lasso => "infinite (lasso) run",
+            ViolationKind::Blocking => "blocking run",
+            ViolationKind::Returning => "returning run",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A symbolic witness that the property can be violated.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The task at whose level the violating run was found (the root).
+    pub task: TaskId,
+    /// The kind of violating run.
+    pub kind: ViolationKind,
+    /// Human-readable description of the initial isomorphism type of the
+    /// violating run.
+    pub input_description: String,
+}
+
+/// Exploration statistics, the cost measures reported by the benchmarks
+/// (EXP-T1 / EXP-T2 / EXP-F3 in DESIGN.md).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Symbolic control states constructed across all per-task VASS.
+    pub control_states: usize,
+    /// VASS actions (transitions) constructed.
+    pub transitions: usize,
+    /// Karp–Miller coverability-graph nodes explored.
+    pub coverability_nodes: usize,
+    /// Total vector dimension (TS-isomorphism types) across tasks.
+    pub counter_dimensions: usize,
+    /// Büchi automaton states across all `B(T, β)`.
+    pub buchi_states: usize,
+    /// Number of `(task, β)` pairs analysed.
+    pub task_assignments: usize,
+    /// Number of `R_T` entries computed.
+    pub rt_entries: usize,
+    /// Number of cells in the hierarchical cell decomposition (0 when
+    /// arithmetic support is disabled).
+    pub hcd_cells: usize,
+}
+
+impl Stats {
+    /// Merges another statistics record into this one.
+    pub fn absorb(&mut self, other: &Stats) {
+        self.control_states += other.control_states;
+        self.transitions += other.transitions;
+        self.coverability_nodes += other.coverability_nodes;
+        self.counter_dimensions += other.counter_dimensions;
+        self.buchi_states += other.buchi_states;
+        self.task_assignments += other.task_assignments;
+        self.rt_entries += other.rt_entries;
+        self.hcd_cells += other.hcd_cells;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "states={} transitions={} km-nodes={} dims={} buchi={} (T,β)={} R_T={} cells={}",
+            self.control_states,
+            self.transitions,
+            self.coverability_nodes,
+            self.counter_dimensions,
+            self.buchi_states,
+            self.task_assignments,
+            self.rt_entries,
+            self.hcd_cells
+        )
+    }
+}
+
+/// The result of a verification run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// `true` iff `Γ ⊨ φ` (no violating symbolic tree of runs exists).
+    pub holds: bool,
+    /// A symbolic witness when the property can be violated.
+    pub violation: Option<Violation>,
+    /// Exploration statistics.
+    pub stats: Stats,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.holds {
+            write!(f, "property HOLDS ({})", self.stats)
+        } else {
+            let v = self.violation.as_ref();
+            write!(
+                f,
+                "property VIOLATED ({}; {})",
+                v.map(|v| v.kind.to_string()).unwrap_or_default(),
+                self.stats
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = Stats {
+            control_states: 1,
+            transitions: 2,
+            ..Stats::default()
+        };
+        let b = Stats {
+            control_states: 10,
+            coverability_nodes: 5,
+            ..Stats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.control_states, 11);
+        assert_eq!(a.transitions, 2);
+        assert_eq!(a.coverability_nodes, 5);
+        assert!(a.to_string().contains("states=11"));
+    }
+
+    #[test]
+    fn outcome_display_mentions_result() {
+        let ok = Outcome {
+            holds: true,
+            violation: None,
+            stats: Stats::default(),
+        };
+        assert!(ok.to_string().contains("HOLDS"));
+        let bad = Outcome {
+            holds: false,
+            violation: Some(Violation {
+                task: TaskId(0),
+                kind: ViolationKind::Lasso,
+                input_description: "x".into(),
+            }),
+            stats: Stats::default(),
+        };
+        assert!(bad.to_string().contains("VIOLATED"));
+        assert!(bad.to_string().contains("lasso"));
+    }
+}

@@ -1,0 +1,926 @@
+//! Per-task symbolic exploration: construction of the VASS `V(T, β)` and
+//! computation of the relation `R_T` (Section 4.2, Lemma 21).
+
+use crate::outcome::Stats;
+use crate::verifier::VerifierConfig;
+use has_ltl::buchi::{Buchi, BuchiState};
+use has_ltl::hltl::TaskProp;
+use has_ltl::Ltl;
+use has_model::{
+    ArtifactSystem, Condition, ServiceRef, TaskId, VarId, VarSort,
+};
+use has_symbolic::{transfer_pattern, ProjectionKey, SymState, TaskContext};
+use has_vass::{CoverabilityGraph, Vass};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One tuple of the relation `R_T`: for runs with the given input
+/// isomorphism type and truth assignment `β` over `Φ_T`, either a returning
+/// run producing the recorded output state exists (`output = Some`), or an
+/// infinite/blocking run exists (`output = None`, the paper's `τ_out = ⊥`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RtEntry {
+    /// Canonical key of the input isomorphism type (projection of the
+    /// initial state onto the input variables).
+    pub input_key: ProjectionKey,
+    /// The symbolic state at the closing step for returning runs, `None` for
+    /// non-returning (infinite or blocking) runs.
+    pub output: Option<SymState>,
+    /// Truth assignment over `Φ_T`.
+    pub beta: Vec<bool>,
+}
+
+/// The computed `R_T` of one task, for all assignments `β`.
+#[derive(Clone, Debug, Default)]
+pub struct TaskSummary {
+    /// All entries.
+    pub entries: Vec<RtEntry>,
+}
+
+impl TaskSummary {
+    /// Entries matching an input key.
+    pub fn matching(&self, input_key: &ProjectionKey) -> Vec<&RtEntry> {
+        self.entries
+            .iter()
+            .filter(|e| &e.input_key == input_key)
+            .collect()
+    }
+
+    /// Returns `true` if some entry has a non-returning run with the given
+    /// predicate on `β`.
+    pub fn has_non_returning<F>(&self, mut pred: F) -> bool
+    where
+        F: FnMut(&RtEntry) -> bool,
+    {
+        self.entries
+            .iter()
+            .any(|e| e.output.is_none() && pred(e))
+    }
+}
+
+/// Status of a child task within a segment of the parent's run.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum ChildStatus {
+    /// Opened and not yet returned; `output` is the promised output state
+    /// (`None` = the chosen child run never returns).
+    Active { output: Option<SymState> },
+    /// Returned within the current segment.
+    Closed,
+}
+
+/// A control state of `V(T, β)`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct CState {
+    sym: SymState,
+    q: BuchiState,
+    children: BTreeMap<TaskId, ChildStatus>,
+    /// Set when the task's own closing service has been applied (terminal).
+    closed: bool,
+    /// Index of the initial input state this control state originated from
+    /// (keeps runs originating from different inputs separate, as the paper
+    /// does by fixing `τ_in` per query).
+    input_index: usize,
+}
+
+/// Explores one `(T, β)` pair and contributes entries to `R_T`.
+pub struct TaskVerifier<'a> {
+    system: &'a ArtifactSystem,
+    config: &'a VerifierConfig,
+    ctx: &'a TaskContext,
+    task: TaskId,
+    beta: Vec<bool>,
+    buchi: &'a Buchi<TaskProp>,
+    props: Vec<TaskProp>,
+    children: &'a BTreeMap<TaskId, TaskSummary>,
+    /// Child contexts (needed to transfer input patterns).
+    child_contexts: &'a BTreeMap<TaskId, TaskContext>,
+}
+
+impl<'a> TaskVerifier<'a> {
+    /// Creates the explorer for one `(T, β)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        system: &'a ArtifactSystem,
+        config: &'a VerifierConfig,
+        ctx: &'a TaskContext,
+        task: TaskId,
+        beta: Vec<bool>,
+        phi: &[Ltl<TaskProp>],
+        buchi: &'a Buchi<TaskProp>,
+        children: &'a BTreeMap<TaskId, TaskSummary>,
+        child_contexts: &'a BTreeMap<TaskId, TaskContext>,
+    ) -> Self {
+        let mut props: Vec<TaskProp> = phi
+            .iter()
+            .flat_map(|f| f.propositions().into_iter())
+            .collect();
+        props.sort();
+        props.dedup();
+        TaskVerifier {
+            system,
+            config,
+            ctx,
+            task,
+            beta,
+            buchi,
+            props,
+            children,
+            child_contexts,
+        }
+    }
+
+    fn schema(&self) -> &has_model::ArtifactSchema {
+        &self.system.schema
+    }
+
+    fn no_arith(_: &has_arith::LinearConstraint<VarId>) -> Option<bool> {
+        None
+    }
+
+    /// Three-valued satisfaction treating arithmetic atoms as undetermined;
+    /// undetermined results are resolved optimistically (the verifier
+    /// searches for violations, so "possibly satisfiable" transitions must be
+    /// kept — see DESIGN.md §5 on the direction of this approximation).
+    fn sat_optimistic(&self, state: &SymState, cond: &Condition) -> bool {
+        state
+            .satisfies(self.ctx, cond, &Self::no_arith)
+            .unwrap_or(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Input-state enumeration
+    // ------------------------------------------------------------------
+
+    /// Enumerates the possible initial symbolic states of the task: every
+    /// equality/binding pattern over the input variables (constrained by `Π`
+    /// for the root task), with all other variables at their initial values.
+    pub fn enumerate_inputs(&self) -> Vec<SymState> {
+        let schema = self.schema();
+        let t = schema.task(self.task);
+        let constraint = if self.task == schema.root {
+            self.system.precondition.clone()
+        } else {
+            Condition::True
+        };
+        let mut states = vec![SymState::blank(self.ctx, schema)];
+        for &v in &t.input_vars {
+            let mut next = Vec::new();
+            for s in &states {
+                match schema.variable(v).sort {
+                    VarSort::Id => {
+                        // null
+                        next.push(s.clone());
+                        // bound to each candidate relation, fresh
+                        for &rel in self.ctx.bindings_for(v) {
+                            let mut b = s.clone();
+                            b.bind(self.ctx, v, Some(rel));
+                            next.push(b);
+                            // or equal to a previously assigned input variable
+                            // with the same binding
+                            for &w in &t.input_vars {
+                                if w == v {
+                                    break;
+                                }
+                                if s.binding_of(w) == Some(rel) {
+                                    let mut e = s.clone();
+                                    e.bind(self.ctx, v, Some(rel));
+                                    if e
+                                        .union(self.ctx, self.ctx.var_idx(v), self.ctx.var_idx(w))
+                                        .is_ok()
+                                    {
+                                        next.push(e);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    VarSort::Numeric => {
+                        // stays zero
+                        next.push(s.clone());
+                        // fresh value
+                        let mut f = s.clone();
+                        f.fresh_numeric(self.ctx, v);
+                        next.push(f);
+                        // equal to a constant of the universe
+                        for (i, e) in self.ctx.exprs.iter().enumerate() {
+                            if matches!(e, has_symbolic::Expr::Const(_)) {
+                                let mut c = s.clone();
+                                c.fresh_numeric(self.ctx, v);
+                                if c.union(self.ctx, self.ctx.var_idx(v), i).is_ok() {
+                                    next.push(c);
+                                }
+                            }
+                        }
+                        // equal to a previously assigned numeric input var
+                        for &w in &t.input_vars {
+                            if w == v {
+                                break;
+                            }
+                            if schema.variable(w).sort == VarSort::Numeric {
+                                let mut e = s.clone();
+                                e.fresh_numeric(self.ctx, v);
+                                if e
+                                    .union(self.ctx, self.ctx.var_idx(v), self.ctx.var_idx(w))
+                                    .is_ok()
+                                {
+                                    next.push(e);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            states = Self::dedup(next);
+            if states.len() > self.config.max_successors {
+                states.truncate(self.config.max_successors);
+            }
+        }
+        states.retain(|s| self.sat_optimistic(s, &constraint));
+        Self::dedup(states)
+    }
+
+    fn dedup(mut states: Vec<SymState>) -> Vec<SymState> {
+        for s in &mut states {
+            s.normalize();
+        }
+        states.sort();
+        states.dedup();
+        states
+    }
+
+    // ------------------------------------------------------------------
+    // Successor enumeration for internal services
+    // ------------------------------------------------------------------
+
+    /// Enumerates the possible post-states of an internal service from
+    /// `state`: input variables keep their pattern, every other variable is
+    /// rewritten (restriction 1 of Section 6), constrained by the
+    /// post-condition.
+    fn enumerate_post_states(&self, state: &SymState, post: &Condition) -> Vec<SymState> {
+        let schema = self.schema();
+        let t = schema.task(self.task);
+        let free_vars: Vec<VarId> = t
+            .variables
+            .iter()
+            .copied()
+            .filter(|v| !t.input_vars.contains(v))
+            .collect();
+
+        let mut base = SymState::blank(self.ctx, schema);
+        base.adopt_vars(self.ctx, state, &t.input_vars);
+
+        let mut states = vec![base];
+        let mut remaining: std::collections::BTreeSet<VarId> = free_vars.iter().copied().collect();
+        for &v in &free_vars {
+            let mut next = Vec::new();
+            for s in &states {
+                next.extend(self.choices_for_var(s, v));
+            }
+            remaining.remove(&v);
+            // Early pruning: drop states that already contradict the
+            // post-condition on the atoms whose variables are all decided
+            // (atoms touching variables not yet rewritten are left open).
+            next.retain(|s| {
+                s.satisfies_with_unknowns(self.ctx, post, &remaining, &Self::no_arith)
+                    .unwrap_or(true)
+            });
+            states = Self::dedup(next);
+            if states.len() > self.config.max_successors {
+                states.truncate(self.config.max_successors);
+            }
+        }
+        // Final filter plus the optional merge refinement over related pairs.
+        let mut out = Vec::new();
+        for s in states {
+            for refined in self.merge_refinements(&s) {
+                if self.sat_optimistic(&refined, post) {
+                    out.push(refined);
+                }
+            }
+        }
+        let mut out = Self::dedup(out);
+        if out.len() > self.config.max_successors {
+            out.truncate(self.config.max_successors);
+        }
+        out
+    }
+
+    /// The candidate values of a single rewritten variable.
+    fn choices_for_var(&self, state: &SymState, v: VarId) -> Vec<SymState> {
+        let schema = self.schema();
+        let mut out = Vec::new();
+        match schema.variable(v).sort {
+            VarSort::Id => {
+                // null
+                let mut n = state.clone();
+                n.bind(self.ctx, v, None);
+                out.push(n);
+                for &rel in self.ctx.bindings_for(v) {
+                    // fresh tuple of rel
+                    let mut f = state.clone();
+                    f.bind(self.ctx, v, Some(rel));
+                    out.push(f.clone());
+                    // or equal to an existing expression of sort Id(rel)
+                    // related to v through the atom basis
+                    for &cand in self.ctx.related_to(self.ctx.var_idx(v)) {
+                        let mut e = f.clone();
+                        if e.union(self.ctx, self.ctx.var_idx(v), cand).is_ok() {
+                            out.push(e);
+                        }
+                    }
+                }
+            }
+            VarSort::Numeric => {
+                // zero
+                let mut z = state.clone();
+                z.fresh_numeric(self.ctx, v);
+                let _ = z.union(self.ctx, self.ctx.var_idx(v), self.ctx.zero_idx);
+                out.push(z);
+                // fresh
+                let mut f = state.clone();
+                f.fresh_numeric(self.ctx, v);
+                out.push(f.clone());
+                // equal to a related expression (constants, navigations,
+                // other numeric variables mentioned together in atoms)
+                for &cand in self.ctx.related_to(self.ctx.var_idx(v)) {
+                    let mut e = state.clone();
+                    e.fresh_numeric(self.ctx, v);
+                    if e.union(self.ctx, self.ctx.var_idx(v), cand).is_ok() {
+                        out.push(e);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Optionally merges related expression pairs that are still distinct:
+    /// this lets the enumeration produce "coincidental" equalities that the
+    /// specification's atoms can observe (2^k branching over undecided
+    /// related pairs, capped).
+    fn merge_refinements(&self, state: &SymState) -> Vec<SymState> {
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for i in 0..self.ctx.len() {
+            for &j in self.ctx.related_to(i) {
+                if i < j && state.is_live(i) && state.is_live(j) && !state.eq(i, j) {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs.truncate(self.config.max_merge_pairs);
+        let mut out = vec![state.clone()];
+        for (i, j) in pairs {
+            let mut next = out.clone();
+            for s in &out {
+                let mut m = s.clone();
+                if m.union(self.ctx, i, j).is_ok() {
+                    next.push(m);
+                }
+            }
+            out = Self::dedup(next);
+            if out.len() > self.config.max_successors {
+                out.truncate(self.config.max_successors);
+                break;
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Letters and Büchi stepping
+    // ------------------------------------------------------------------
+
+    /// The truth assignments ("letters") compatible with observing `service`
+    /// in state `sym`, branching over propositions left undetermined by the
+    /// abstraction (arithmetic atoms when cell tracking is disabled).
+    fn letters(
+        &self,
+        sym: &SymState,
+        service: ServiceRef,
+        child_choice: Option<(TaskId, &[bool])>,
+    ) -> Vec<BTreeMap<TaskProp, bool>> {
+        let mut determined: BTreeMap<TaskProp, bool> = BTreeMap::new();
+        let mut unknown: Vec<TaskProp> = Vec::new();
+        for p in &self.props {
+            match p {
+                TaskProp::Condition(c) => match sym.satisfies(self.ctx, c, &Self::no_arith) {
+                    Some(b) => {
+                        determined.insert(p.clone(), b);
+                    }
+                    None => unknown.push(p.clone()),
+                },
+                TaskProp::Service(s) => {
+                    determined.insert(p.clone(), *s == service);
+                }
+                TaskProp::Child { child, phi_index } => {
+                    let value = match (child_choice, service) {
+                        (Some((chosen, beta)), ServiceRef::Opening(opened))
+                            if opened == *child && chosen == *child =>
+                        {
+                            beta.get(*phi_index).copied().unwrap_or(false)
+                        }
+                        _ => false,
+                    };
+                    determined.insert(p.clone(), value);
+                }
+            }
+        }
+        let unknown = if unknown.len() > self.config.max_unknown_props {
+            unknown[..self.config.max_unknown_props].to_vec()
+        } else {
+            unknown
+        };
+        let mut letters = Vec::with_capacity(1 << unknown.len());
+        for mask in 0..(1usize << unknown.len()) {
+            let mut letter = determined.clone();
+            for (i, p) in unknown.iter().enumerate() {
+                letter.insert(p.clone(), mask & (1 << i) != 0);
+            }
+            letters.push(letter);
+        }
+        letters
+    }
+
+    fn step_buchi(
+        &self,
+        q: Option<BuchiState>,
+        letter: &BTreeMap<TaskProp, bool>,
+    ) -> Vec<BuchiState> {
+        let assignment = |p: &TaskProp| letter.get(p).copied().unwrap_or(false);
+        match q {
+            None => self.buchi.initial_successors(assignment),
+            Some(q) => self.buchi.step(q, assignment),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-task transfer
+    // ------------------------------------------------------------------
+
+    /// Builds the child's initial symbolic state induced by opening it from
+    /// the parent state `sym` (the paper's `τ'_in = f_in^{-1}(τ_i)` of
+    /// Definition 18), and returns its input projection key.
+    fn child_input(&self, sym: &SymState, child: TaskId) -> (SymState, ProjectionKey) {
+        let schema = self.schema();
+        let child_ctx = &self.child_contexts[&child];
+        let child_task = schema.task(child);
+        let mut state = SymState::blank(child_ctx, schema);
+        // (parent_var -> child_var) correspondence for the pattern transfer.
+        let map: Vec<(VarId, VarId)> = child_task
+            .opening
+            .input_map
+            .iter()
+            .map(|(cv, pv)| (*pv, *cv))
+            .collect();
+        // Numeric mapped variables must leave the zero class before the
+        // transfer so that only the parent's equalities constrain them.
+        for (_, cv) in &map {
+            if schema.variable(*cv).sort == VarSort::Numeric {
+                state.fresh_numeric(child_ctx, *cv);
+            }
+        }
+        transfer_pattern(self.ctx, sym, child_ctx, &mut state, &map);
+        let key = state.project_vars(child_ctx, &child_task.input_vars);
+        (state, key)
+    }
+
+    /// Applies a child's return to the parent state (Definition 8's closing
+    /// transition): numeric returned variables are overwritten, ID returned
+    /// variables only if currently `null`; their new pattern follows the
+    /// child's output state, including its relationships to the variables
+    /// that were passed down on opening and to their navigations.
+    fn apply_return(&self, sym: &SymState, child: TaskId, output: &SymState) -> SymState {
+        let schema = self.schema();
+        let child_ctx = &self.child_contexts[&child];
+        let child_task = schema.task(child);
+        let mut next = sym.clone();
+        // Child variables visible to the parent after the return: the
+        // overwritten returned variables plus the original inputs (whose
+        // parent-side values are unchanged but whose pattern anchors the
+        // returned values).
+        let mut map: Vec<(VarId, VarId)> = Vec::new(); // (child_var, parent_var)
+        for (pv, cv) in &child_task.closing.output_map {
+            let overwrite = match schema.variable(*pv).sort {
+                VarSort::Numeric => true,
+                VarSort::Id => sym.is_null(self.ctx, *pv),
+            };
+            if overwrite {
+                map.push((*cv, *pv));
+            }
+        }
+        let written: Vec<VarId> = map.iter().map(|(_, pv)| *pv).collect();
+        for (cv, pv) in &child_task.opening.input_map {
+            map.push((*cv, *pv));
+        }
+        // Re-initialize the written numeric parent variables so the transfer
+        // determines their pattern from scratch.
+        for pv in &written {
+            if schema.variable(*pv).sort == VarSort::Numeric {
+                next.fresh_numeric(self.ctx, *pv);
+            }
+        }
+        // The transfer re-binds the written parent variables; the input
+        // parent variables keep their classes because transfer only *adds*
+        // equalities among live expressions... except that `transfer_pattern`
+        // rebinds every mapped destination variable, which would disturb the
+        // parent's own pattern for the passed (input) variables. To avoid
+        // that, the transfer is restricted to the written variables, and the
+        // input variables participate only as sources of equalities checked
+        // directly below.
+        let written_map: Vec<(VarId, VarId)> = map
+            .iter()
+            .filter(|(_, pv)| written.contains(pv))
+            .map(|(cv, pv)| (*cv, *pv))
+            .collect();
+        transfer_pattern(child_ctx, output, self.ctx, &mut next, &written_map);
+        // Equalities between written parent variables (and their navigations)
+        // and the *passed* parent variables (and theirs), as dictated by the
+        // child's output pattern.
+        let corresponding = |cv: VarId, pv: VarId| -> Vec<(usize, usize)> {
+            // (child expr, parent expr) pairs anchored at (cv, pv).
+            self.ctx
+                .exprs
+                .iter()
+                .enumerate()
+                .filter_map(|(pi, pe)| {
+                    let ce = match pe {
+                        has_symbolic::Expr::Var(v) if *v == pv => has_symbolic::Expr::Var(cv),
+                        has_symbolic::Expr::Nav { var, rel, path } if *var == pv => {
+                            has_symbolic::Expr::Nav {
+                                var: cv,
+                                rel: *rel,
+                                path: path.clone(),
+                            }
+                        }
+                        _ => return None,
+                    };
+                    child_ctx.index_of(&ce).map(|ci| (ci, pi))
+                })
+                .collect()
+        };
+        for (cv_w, pv_w) in &written_map {
+            for (cv_in, pv_in) in &child_task.opening.input_map {
+                for (cw, pw) in corresponding(*cv_w, *pv_w) {
+                    for (ci, pi) in corresponding(*cv_in, *pv_in) {
+                        if output.is_live(cw)
+                            && output.is_live(ci)
+                            && output.eq(cw, ci)
+                            && next.is_live(pw)
+                            && next.is_live(pi)
+                            && !next.eq(pw, pi)
+                        {
+                            let _ = next.union(self.ctx, pw, pi);
+                        }
+                    }
+                }
+            }
+        }
+        next.normalize();
+        next
+    }
+
+    /// Projects a closing state onto the given variables (the paper's
+    /// `τ_out = τ|（x̄_in ∪ x̄_ret)`): a fresh state carrying only the
+    /// equality/binding pattern of those variables.
+    fn project_output(&self, state: &SymState, vars: &[VarId]) -> SymState {
+        let schema = self.schema();
+        let mut out = SymState::blank(self.ctx, schema);
+        for &v in vars {
+            if schema.variable(v).sort == VarSort::Numeric {
+                out.fresh_numeric(self.ctx, v);
+            }
+        }
+        let map: Vec<(VarId, VarId)> = vars.iter().map(|v| (*v, *v)).collect();
+        transfer_pattern(self.ctx, state, self.ctx, &mut out, &map);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Main exploration
+    // ------------------------------------------------------------------
+
+    /// Explores `V(T, β)` and returns the contributed `R_T` entries together
+    /// with exploration statistics.
+    pub fn explore(&self) -> (Vec<RtEntry>, Stats) {
+        let schema = self.schema();
+        let t = schema.task(self.task);
+        let mut stats = Stats::default();
+        stats.task_assignments = 1;
+        stats.buchi_states = self.buchi.state_count();
+
+        let inputs = self.enumerate_inputs();
+        let mut states: Vec<CState> = Vec::new();
+        let mut index: BTreeMap<CState, usize> = BTreeMap::new();
+        let mut counter_dims: BTreeMap<ProjectionKey, usize> = BTreeMap::new();
+        // Transitions: (from, delta as map dim->i64, to)
+        let mut transitions: Vec<(usize, BTreeMap<usize, i64>, usize)> = Vec::new();
+        let mut initial_states: Vec<usize> = Vec::new();
+        let mut input_keys: Vec<ProjectionKey> = Vec::new();
+
+        let intern = |state: CState,
+                          states: &mut Vec<CState>,
+                          index: &mut BTreeMap<CState, usize>|
+         -> usize {
+            if let Some(&i) = index.get(&state) {
+                return i;
+            }
+            let i = states.len();
+            states.push(state.clone());
+            index.insert(state, i);
+            i
+        };
+
+        // Initial states: step the Büchi automaton on the opening letter.
+        for (input_index, input) in inputs.iter().enumerate() {
+            input_keys.push(input.project_vars(self.ctx, &t.input_vars));
+            for letter in self.letters(input, ServiceRef::Opening(self.task), None) {
+                for q in self.step_buchi(None, &letter) {
+                    let c = CState {
+                        sym: input.clone(),
+                        q,
+                        children: BTreeMap::new(),
+                        closed: false,
+                        input_index,
+                    };
+                    let id = intern(c, &mut states, &mut index);
+                    if !initial_states.contains(&id) {
+                        initial_states.push(id);
+                    }
+                }
+            }
+        }
+
+        // Forward exploration of the control-state graph (counter validity is
+        // decided later by the coverability queries).
+        let mut worklist: VecDeque<usize> = initial_states.iter().copied().collect();
+        let mut seen_in_worklist: BTreeSet<usize> = worklist.iter().copied().collect();
+        let ts_vars: Vec<VarId> = {
+            let mut v: Vec<VarId> = t.input_vars.clone();
+            if let Some(ar) = &t.artifact_relation {
+                v.extend(ar.tuple.iter().copied());
+            }
+            v.sort();
+            v.dedup();
+            v
+        };
+
+        // Post-state enumeration is the expensive step and depends only on
+        // the symbolic state and the service, not on the Büchi/children
+        // components of the control state: memoize it.
+        let mut post_cache: BTreeMap<(SymState, usize), Vec<SymState>> = BTreeMap::new();
+        while let Some(id) = worklist.pop_front() {
+            if states.len() > self.config.max_control_states {
+                break;
+            }
+            let current = states[id].clone();
+            if current.closed {
+                continue;
+            }
+            let has_active_children = current
+                .children
+                .values()
+                .any(|c| matches!(c, ChildStatus::Active { .. }));
+
+            // --- Internal services -------------------------------------
+            if !has_active_children {
+                for (service_idx, service) in t.internal_services.iter().enumerate() {
+                    if !self.sat_optimistic(&current.sym, &service.pre) {
+                        continue;
+                    }
+                    let cache_key = (current.sym.clone(), service_idx);
+                    let posts = post_cache
+                        .entry(cache_key)
+                        .or_insert_with(|| {
+                            self.enumerate_post_states(&current.sym, &service.post)
+                        })
+                        .clone();
+                    for post_state in posts {
+                        // Counter update (Definition 17's a̅ vector).
+                        let mut delta: BTreeMap<usize, i64> = BTreeMap::new();
+                        if t.artifact_relation.is_some() {
+                            if service.delta.inserts() {
+                                let key = current.sym.project_vars(self.ctx, &ts_vars);
+                                let dims = counter_dims.len();
+                                let dim = *counter_dims.entry(key).or_insert(dims);
+                                *delta.entry(dim).or_insert(0) += 1;
+                            }
+                            if service.delta.retrieves() {
+                                let key = post_state.project_vars(self.ctx, &ts_vars);
+                                let dims = counter_dims.len();
+                                let dim = *counter_dims.entry(key).or_insert(dims);
+                                *delta.entry(dim).or_insert(0) -= 1;
+                            }
+                        }
+                        let sref = ServiceRef::Internal(self.task, service_idx);
+                        for letter in self.letters(&post_state, sref, None) {
+                            for q in self.step_buchi(Some(current.q), &letter) {
+                                let next = CState {
+                                    sym: post_state.clone(),
+                                    q,
+                                    children: BTreeMap::new(),
+                                    closed: false,
+                                    input_index: current.input_index,
+                                };
+                                let nid = intern(next, &mut states, &mut index);
+                                transitions.push((id, delta.clone(), nid));
+                                if seen_in_worklist.insert(nid) {
+                                    worklist.push_back(nid);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // --- Opening a child ----------------------------------------
+            for &child in &t.children {
+                if current.children.contains_key(&child) {
+                    continue;
+                }
+                let opening_pre = &schema.task(child).opening.pre;
+                if !self.sat_optimistic(&current.sym, opening_pre) {
+                    continue;
+                }
+                let (_, child_key) = self.child_input(&current.sym, child);
+                let summary = &self.children[&child];
+                for entry in summary.matching(&child_key) {
+                    let sref = ServiceRef::Opening(child);
+                    for letter in self.letters(&current.sym, sref, Some((child, &entry.beta))) {
+                        for q in self.step_buchi(Some(current.q), &letter) {
+                            let mut children = current.children.clone();
+                            children.insert(
+                                child,
+                                ChildStatus::Active {
+                                    output: entry.output.clone(),
+                                },
+                            );
+                            let next = CState {
+                                sym: current.sym.clone(),
+                                q,
+                                children,
+                                closed: false,
+                                input_index: current.input_index,
+                            };
+                            let nid = intern(next, &mut states, &mut index);
+                            transitions.push((id, BTreeMap::new(), nid));
+                            if seen_in_worklist.insert(nid) {
+                                worklist.push_back(nid);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // --- Closing a child ----------------------------------------
+            for (&child, status) in &current.children {
+                let ChildStatus::Active { output: Some(out) } = status else {
+                    continue;
+                };
+                let new_sym = self.apply_return(&current.sym, child, out);
+                let sref = ServiceRef::Closing(child);
+                for letter in self.letters(&new_sym, sref, None) {
+                    for q in self.step_buchi(Some(current.q), &letter) {
+                        let mut children = current.children.clone();
+                        children.insert(child, ChildStatus::Closed);
+                        let next = CState {
+                            sym: new_sym.clone(),
+                            q,
+                            children,
+                            closed: false,
+                            input_index: current.input_index,
+                        };
+                        let nid = intern(next, &mut states, &mut index);
+                        transitions.push((id, BTreeMap::new(), nid));
+                        if seen_in_worklist.insert(nid) {
+                            worklist.push_back(nid);
+                        }
+                    }
+                }
+            }
+
+            // --- Closing the task itself --------------------------------
+            if self.task != schema.root
+                && !has_active_children
+                && self.sat_optimistic(&current.sym, &t.closing.pre)
+            {
+                let sref = ServiceRef::Closing(self.task);
+                for letter in self.letters(&current.sym, sref, None) {
+                    for q in self.step_buchi(Some(current.q), &letter) {
+                        let next = CState {
+                            sym: current.sym.clone(),
+                            q,
+                            children: current.children.clone(),
+                            closed: true,
+                            input_index: current.input_index,
+                        };
+                        let nid = intern(next, &mut states, &mut index);
+                        transitions.push((id, BTreeMap::new(), nid));
+                        // Closed states have no successors; no need to enqueue.
+                    }
+                }
+            }
+        }
+
+        stats.control_states = states.len();
+        stats.transitions = transitions.len();
+        stats.counter_dimensions = counter_dims.len();
+
+        // ----------------------------------------------------------------
+        // Build the VASS and answer the Lemma 21 queries per initial state.
+        // ----------------------------------------------------------------
+        let dim = counter_dims.len();
+        let mut vass = Vass::new(states.len(), dim);
+        for (from, delta, to) in &transitions {
+            let mut d = vec![0i64; dim];
+            for (&k, &v) in delta {
+                d[k] = v;
+            }
+            vass.add_action(*from, d, *to);
+        }
+
+        let accepting: BTreeSet<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.closed && self.buchi.accepting().contains(&s.q))
+            .map(|(i, _)| i)
+            .collect();
+        let finite_ok = |s: &CState| self.buchi.finite_accepting().contains(&s.q);
+
+        let mut entries: Vec<RtEntry> = Vec::new();
+        let push_entry = |entries: &mut Vec<RtEntry>, e: RtEntry| {
+            if !entries.contains(&e) {
+                entries.push(e);
+            }
+        };
+
+        for &init in &initial_states {
+            let input_key = input_keys[states[init].input_index].clone();
+            let graph = CoverabilityGraph::build_capped(&vass, init, self.config.km_node_cap);
+            stats.coverability_nodes += graph.node_count();
+
+            // Returning paths. The recorded output is the closing state
+            // projected onto the variables the parent can observe (the input
+            // and return variables) — the paper's τ_out — which also keeps
+            // the number of distinct R_T entries small.
+            for node in graph.nodes() {
+                let cs = &states[node.state];
+                if cs.closed && finite_ok(cs) {
+                    let out_vars: Vec<VarId> = {
+                        let mut v = t.input_vars.clone();
+                        v.extend(schema.task(self.task).return_vars());
+                        v.sort();
+                        v.dedup();
+                        v
+                    };
+                    let projected = self.project_output(&cs.sym, &out_vars);
+                    push_entry(
+                        &mut entries,
+                        RtEntry {
+                            input_key: input_key.clone(),
+                            output: Some(projected),
+                            beta: self.beta.clone(),
+                        },
+                    );
+                }
+            }
+            // Blocking paths: a child was opened with a never-returning run.
+            for node in graph.nodes() {
+                let cs = &states[node.state];
+                let blocking_child = cs
+                    .children
+                    .values()
+                    .any(|c| matches!(c, ChildStatus::Active { output: None }));
+                if !cs.closed && blocking_child && finite_ok(cs) {
+                    push_entry(
+                        &mut entries,
+                        RtEntry {
+                            input_key: input_key.clone(),
+                            output: None,
+                            beta: self.beta.clone(),
+                        },
+                    );
+                    break;
+                }
+            }
+            // Lasso paths.
+            if !accepting.is_empty()
+                && graph.nonneg_cycle_through_pred(
+                    &vass,
+                    &|s| accepting.contains(&s),
+                    self.config.lasso_cycle_bound,
+                )
+            {
+                push_entry(
+                    &mut entries,
+                    RtEntry {
+                        input_key: input_key.clone(),
+                        output: None,
+                        beta: self.beta.clone(),
+                    },
+                );
+            }
+        }
+
+        stats.rt_entries = entries.len();
+        (entries, stats)
+    }
+}

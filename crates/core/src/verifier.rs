@@ -1,0 +1,315 @@
+//! The top-level verifier: bottom-up computation of `R_T` and the final
+//! model-checking answer.
+
+use crate::outcome::{Outcome, Stats, Violation, ViolationKind};
+use crate::property::PropertyContext;
+use crate::task_verifier::{TaskSummary, TaskVerifier};
+use has_arith::{HcdBuilder, LinExpr};
+use has_ltl::HltlFormula;
+use has_model::{ArtifactSystem, TaskId, VarId};
+use std::collections::BTreeMap;
+
+/// Tuning knobs of the verifier.
+///
+/// The defaults are adequate for the systems in `has-workloads`; the caps
+/// exist because several enumeration steps are worst-case exponential (that
+/// is the content of Tables 1 and 2) and runaway instances should degrade
+/// into an explicit truncation rather than an apparent hang. Any truncation
+/// is an *under*-approximation of the violation search (`holds = true`
+/// results are then "no violation found within the explored space").
+#[derive(Clone, Debug)]
+pub struct VerifierConfig {
+    /// Foreign-key navigation depth of the symbolic expression universe.
+    pub nav_depth: usize,
+    /// Cap on the number of symbolic successor states per enumeration step.
+    pub max_successors: usize,
+    /// Cap on the number of control states explored per `(T, β)` pair.
+    pub max_control_states: usize,
+    /// Cap on the number of undecided related-expression pairs branched over
+    /// when refining a successor state.
+    pub max_merge_pairs: usize,
+    /// Cap on the number of property propositions left undetermined by the
+    /// abstraction that are branched over per letter.
+    pub max_unknown_props: usize,
+    /// Bound on the cycle length searched for lasso detection (`None` = the
+    /// coverability-graph size).
+    pub lasso_cycle_bound: Option<usize>,
+    /// Cap on the number of Karp–Miller coverability-graph nodes built per
+    /// reachability query (truncation under-approximates the search).
+    pub km_node_cap: usize,
+    /// Whether to build the Hierarchical Cell Decomposition for arithmetic
+    /// constraints (Section 5). The decomposition is reported in the
+    /// statistics and used to refine arithmetic atoms where possible.
+    pub use_cells: bool,
+}
+
+impl Default for VerifierConfig {
+    fn default() -> Self {
+        VerifierConfig {
+            nav_depth: 1,
+            max_successors: 512,
+            max_control_states: 20_000,
+            max_merge_pairs: 6,
+            max_unknown_props: 4,
+            lasso_cycle_bound: Some(40),
+            km_node_cap: 50_000,
+            use_cells: false,
+        }
+    }
+}
+
+/// The HAS verifier.
+pub struct Verifier<'a> {
+    system: &'a ArtifactSystem,
+    property: &'a HltlFormula,
+    config: VerifierConfig,
+}
+
+impl<'a> Verifier<'a> {
+    /// Creates a verifier for a system and property with default settings.
+    pub fn new(system: &'a ArtifactSystem, property: &'a HltlFormula) -> Self {
+        Verifier {
+            system,
+            property,
+            config: VerifierConfig::default(),
+        }
+    }
+
+    /// Creates a verifier with an explicit configuration.
+    pub fn with_config(
+        system: &'a ArtifactSystem,
+        property: &'a HltlFormula,
+        config: VerifierConfig,
+    ) -> Self {
+        Verifier {
+            system,
+            property,
+            config,
+        }
+    }
+
+    /// Decides `Γ ⊨ φ`.
+    ///
+    /// Returns an [`Outcome`] with the answer, a symbolic witness when the
+    /// property can be violated, and exploration statistics.
+    ///
+    /// # Panics
+    /// Panics if the property fails validation against the system.
+    pub fn verify(&self) -> Outcome {
+        self.property
+            .validate(self.system)
+            .expect("property must be well-formed for the system");
+
+        let mut stats = Stats::default();
+        if self.config.use_cells {
+            stats.hcd_cells = self.build_hcd_cell_count();
+        }
+
+        let mut pc = PropertyContext::new(self.system, self.property, self.config.nav_depth);
+        let schema = &self.system.schema;
+
+        // Bottom-up order: children before parents.
+        let mut order: Vec<TaskId> = Vec::new();
+        let mut stack = vec![(schema.root, false)];
+        while let Some((t, expanded)) = stack.pop() {
+            if expanded {
+                order.push(t);
+            } else {
+                stack.push((t, true));
+                for &c in &schema.task(t).children {
+                    stack.push((c, false));
+                }
+            }
+        }
+
+        let mut summaries: BTreeMap<TaskId, TaskSummary> = BTreeMap::new();
+        for task in order {
+            let mut summary = TaskSummary::default();
+            let assignments = pc.assignments(task);
+            for beta in assignments {
+                // Büchi automata are cached inside the property context; the
+                // borrow is released before the task verifier runs by cloning
+                // the automaton (they are small).
+                let buchi = pc.buchi(task, &beta).clone();
+                let phi = pc.phi(task).to_vec();
+                let ctx = pc.context(task);
+                let child_contexts: BTreeMap<TaskId, _> = schema
+                    .task(task)
+                    .children
+                    .iter()
+                    .map(|c| (*c, pc.context(*c).clone()))
+                    .collect();
+                let tv = TaskVerifier::new(
+                    self.system,
+                    &self.config,
+                    ctx,
+                    task,
+                    beta,
+                    &phi,
+                    &buchi,
+                    &summaries,
+                    &child_contexts,
+                );
+                let (entries, task_stats) = tv.explore();
+                if std::env::var("HAS_VERIFIER_DEBUG").is_ok() {
+                    let returning = entries.iter().filter(|e| e.output.is_some()).count();
+                    eprintln!(
+                        "[has-core] task {} beta {:?}: {} entries ({} returning), {}",
+                        self.system.schema.task(task).name,
+                        tv_beta_for_debug(&entries),
+                        entries.len(),
+                        returning,
+                        task_stats
+                    );
+                }
+                stats.absorb(&task_stats);
+                summary.entries.extend(entries);
+            }
+            summaries.insert(task, summary);
+        }
+
+        // Γ ⊨ φ iff there is no non-returning root run with β(ξ) = 0.
+        let (root_task, root_index) = pc.root();
+        let root_summary = &summaries[&root_task];
+        let violating = root_summary
+            .entries
+            .iter()
+            .find(|e| e.output.is_none() && !e.beta.get(root_index).copied().unwrap_or(false));
+
+        match violating {
+            None => Outcome {
+                holds: true,
+                violation: None,
+                stats,
+            },
+            Some(entry) => Outcome {
+                holds: false,
+                violation: Some(Violation {
+                    task: root_task,
+                    kind: ViolationKind::Lasso,
+                    input_description: format!("input isomorphism type {:?}", entry.input_key),
+                }),
+                stats,
+            },
+        }
+    }
+
+    /// Builds the Hierarchical Cell Decomposition induced by the arithmetic
+    /// atoms of the specification and the property, and returns its total
+    /// cell count (the quantity measured by experiment EXP-F4).
+    fn build_hcd_cell_count(&self) -> usize {
+        let schema = &self.system.schema;
+        let mut builder: HcdBuilder<VarId> = HcdBuilder::new();
+        for (task_id, task) in schema.tasks() {
+            let mut polys: Vec<LinExpr<VarId>> = Vec::new();
+            let collect = |c: &has_model::Condition, polys: &mut Vec<LinExpr<VarId>>| {
+                for a in c.arithmetic_atoms() {
+                    polys.push(a.expr.clone());
+                }
+            };
+            for s in &task.internal_services {
+                collect(&s.pre, &mut polys);
+                collect(&s.post, &mut polys);
+            }
+            collect(&task.closing.pre, &mut polys);
+            for &c in &task.children {
+                collect(&schema.task(c).opening.pre, &mut polys);
+            }
+            // Shared numeric variables with the parent (inputs and returns).
+            let shared: Vec<(VarId, VarId)> = task
+                .opening
+                .input_map
+                .iter()
+                .map(|(c, p)| (*c, *p))
+                .chain(task.closing.output_map.iter().map(|(p, c)| (*c, *p)))
+                .filter(|(c, _)| {
+                    schema.variable(*c).sort == has_model::VarSort::Numeric
+                })
+                .collect();
+            builder = builder.task(task_id.0, task.parent.map(|p| p.0), polys, shared);
+        }
+        builder.build().total_cells()
+    }
+}
+
+fn tv_beta_for_debug(entries: &[crate::task_verifier::RtEntry]) -> Vec<bool> {
+    entries.first().map(|e| e.beta.clone()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use has_ltl::hltl::HltlBuilder;
+    use has_model::{Condition, SetUpdate, SystemBuilder};
+
+    /// A single-task system with one flag that is set by a service and never
+    /// unset: `F set` should hold on every infinite run... except runs where
+    /// the service never fires, so `F set` is violated; `G (set -> set)` is a
+    /// tautology and holds.
+    fn flag_system() -> (ArtifactSystem, has_model::VarId) {
+        let mut b = SystemBuilder::new("flag");
+        let root = b.root_task("Main");
+        let flag = b.num_var(root, "flag");
+        b.internal_service(
+            root,
+            "set",
+            Condition::True,
+            Condition::eq_const(flag, has_arith::Rational::from_int(1)),
+            SetUpdate::None,
+        );
+        b.internal_service(
+            root,
+            "idle",
+            Condition::True,
+            Condition::True,
+            SetUpdate::None,
+        );
+        (b.build().unwrap(), flag)
+    }
+
+    #[test]
+    fn tautology_holds() {
+        let (system, flag) = flag_system();
+        let root = system.root();
+        let mut hb = HltlBuilder::new(root);
+        let set = hb.condition(Condition::eq_const(flag, has_arith::Rational::from_int(1)));
+        let property = hb.finish(set.clone().implies(set).globally());
+        let outcome = Verifier::new(&system, &property).verify();
+        assert!(outcome.holds, "{outcome}");
+    }
+
+    #[test]
+    fn eventually_set_is_violated_by_idle_loop() {
+        let (system, flag) = flag_system();
+        let root = system.root();
+        let mut hb = HltlBuilder::new(root);
+        let set = hb.condition(Condition::eq_const(flag, has_arith::Rational::from_int(1)));
+        let property = hb.finish(set.eventually());
+        let outcome = Verifier::new(&system, &property).verify();
+        assert!(!outcome.holds, "{outcome}");
+        assert!(outcome.violation.is_some());
+    }
+
+    #[test]
+    fn contradictory_property_is_always_violated() {
+        let (system, flag) = flag_system();
+        let root = system.root();
+        let mut hb = HltlBuilder::new(root);
+        let set = hb.condition(Condition::eq_const(flag, has_arith::Rational::from_int(1)));
+        let property = hb.finish(set.clone().and(set.not()).eventually().globally());
+        let outcome = Verifier::new(&system, &property).verify();
+        assert!(!outcome.holds);
+    }
+
+    #[test]
+    fn true_property_holds_and_reports_stats() {
+        let (system, _) = flag_system();
+        let root = system.root();
+        let hb = HltlBuilder::new(root);
+        let property = hb.finish(has_ltl::Ltl::True);
+        let outcome = Verifier::new(&system, &property).verify();
+        assert!(outcome.holds);
+        assert!(outcome.stats.control_states > 0);
+        assert!(outcome.stats.task_assignments >= 1);
+    }
+}

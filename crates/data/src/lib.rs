@@ -1,0 +1,29 @@
+//! Concrete relational substrate for Hierarchical Artifact Systems.
+//!
+//! The paper's verification problem quantifies over *all* database instances
+//! satisfying the key and inclusion (foreign-key) dependencies of the schema.
+//! The verifier never materializes instances — it works symbolically — but a
+//! concrete substrate is still needed for:
+//!
+//! * the **simulator** (`has-sim`), which executes artifact systems on actual
+//!   databases and serves as an independent oracle for the verifier;
+//! * the **examples**, which run the travel-booking process end to end;
+//! * **witness replay**: grounding symbolic counterexamples on a small
+//!   concrete database.
+//!
+//! This crate provides values, tuples, database instances with dependency
+//! enforcement, valuation of artifact variables, concrete condition
+//! evaluation, and random database generation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod evaluate;
+pub mod generate;
+pub mod value;
+
+pub use database::{DatabaseInstance, DbError, Row};
+pub use evaluate::{eval_condition, Valuation};
+pub use generate::{DatabaseGenerator, GeneratorConfig};
+pub use value::Value;

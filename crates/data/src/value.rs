@@ -1,0 +1,99 @@
+//! Concrete values of the HAS data model.
+
+use has_arith::Rational;
+use has_model::RelationId;
+use std::fmt;
+
+/// A concrete value.
+///
+/// The domains follow Definition 1: every relation has its own countable
+/// domain of IDs, disjoint from the reals and from the ID domains of other
+/// relations; numeric attributes and variables range over the reals
+/// (rationals here); `null` is a distinguished constant distinct from
+/// everything else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The null constant (initial value of ID variables).
+    Null,
+    /// An identifier: the `k`-th id of relation `rel`'s domain.
+    Id {
+        /// The relation whose ID domain the value belongs to.
+        rel: RelationId,
+        /// Index within that domain.
+        k: u64,
+    },
+    /// A numeric (rational) value.
+    Num(Rational),
+}
+
+impl Value {
+    /// Numeric value from an integer.
+    pub fn num(n: i64) -> Value {
+        Value::Num(Rational::from_int(n))
+    }
+
+    /// The id value `rel#k`.
+    pub fn id(rel: RelationId, k: u64) -> Value {
+        Value::Id { rel, k }
+    }
+
+    /// Returns `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the numeric content, if any.
+    pub fn as_num(&self) -> Option<Rational> {
+        match self {
+            Value::Num(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Returns the id content, if any.
+    pub fn as_id(&self) -> Option<(RelationId, u64)> {
+        match self {
+            Value::Id { rel, k } => Some((*rel, *k)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Id { rel, k } => write!(f, "R{}#{}", rel.0, k),
+            Value::Num(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_predicates() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::num(3).is_null());
+        assert_eq!(Value::num(3).as_num(), Some(Rational::from_int(3)));
+        assert_eq!(Value::num(3).as_id(), None);
+        let id = Value::id(RelationId(1), 7);
+        assert_eq!(id.as_id(), Some((RelationId(1), 7)));
+        assert_eq!(id.as_num(), None);
+    }
+
+    #[test]
+    fn ids_of_different_relations_are_distinct() {
+        assert_ne!(Value::id(RelationId(0), 1), Value::id(RelationId(1), 1));
+        assert_ne!(Value::id(RelationId(0), 1), Value::Null);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::id(RelationId(2), 5).to_string(), "R2#5");
+        assert_eq!(Value::num(-4).to_string(), "-4");
+    }
+}

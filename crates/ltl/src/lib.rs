@@ -1,0 +1,32 @@
+//! Temporal logic substrate: LTL, Büchi automata, and HLTL-FO.
+//!
+//! Section 3 of the paper specifies properties of Hierarchical Artifact
+//! Systems in **HLTL-FO**: per-task LTL skeletons whose propositions are
+//! interpreted either as quantifier-free conditions on the task's local data,
+//! as service occurrences, or — recursively — as HLTL-FO formulas evaluated
+//! on the runs of invoked child tasks.
+//!
+//! This crate provides:
+//!
+//! * [`Ltl`] — propositional linear-time temporal logic with the standard
+//!   operators (X, U, R, F, G), negation normal form, and direct semantics
+//!   over finite traces (the finite-word semantics of De Giacomo & Vardi used
+//!   by the paper for returning local runs) and over ultimately-periodic
+//!   infinite traces;
+//! * [`buchi`] — the classical tableau construction of a Büchi automaton
+//!   `B_φ` from an LTL formula, exposing both the infinite-word accepting
+//!   states and the finite-word accepting states `Q_fin` that the paper's
+//!   Lemma 21 relies on;
+//! * [`hltl`] — HLTL-FO formulas over a concrete artifact system, the
+//!   per-task sub-formula sets `Φ_T`, and truth assignments `β` over them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buchi;
+pub mod hltl;
+pub mod ltl;
+
+pub use buchi::{Buchi, BuchiState, Label};
+pub use hltl::{HltlFormula, HltlProp, PropId};
+pub use ltl::Ltl;

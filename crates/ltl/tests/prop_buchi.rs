@@ -1,0 +1,98 @@
+//! Property-based equivalence of the Büchi construction and the direct trace
+//! semantics of LTL.
+//!
+//! For random formulas over two propositions and random short traces:
+//! * finite-word acceptance of `B_φ` (with `Q_fin`) must equal the
+//!   finite-trace semantics of `φ`;
+//! * lasso acceptance of `B_φ` must equal the infinite-trace semantics of `φ`
+//!   on the corresponding ultimately-periodic word.
+//!
+//! These are exactly the two ways the verifier consumes automata (returning
+//! and lasso paths of the per-task VASS), so this equivalence is the critical
+//! correctness property of the `has-ltl` crate.
+
+use has_ltl::{Buchi, Ltl};
+use proptest::prelude::*;
+
+type L = Ltl<u8>;
+
+fn arb_ltl() -> impl Strategy<Value = L> {
+    let leaf = prop_oneof![
+        Just(Ltl::True),
+        Just(Ltl::False),
+        (0u8..2).prop_map(Ltl::prop),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f: L| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|f: L| f.next()),
+            inner.clone().prop_map(|f: L| f.weak_next()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.until(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.release(b)),
+            inner.clone().prop_map(|f: L| f.eventually()),
+            inner.prop_map(|f: L| f.globally()),
+        ]
+    })
+}
+
+/// A trace position assigns truth to propositions 0 and 1 via two bits.
+fn arb_trace() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, 1..6)
+}
+
+fn holds(trace: &[u8]) -> impl Fn(usize, &u8) -> bool + '_ {
+    move |j, p| trace[j] & (1 << p) != 0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn buchi_matches_finite_semantics(f in arb_ltl(), trace in arb_trace()) {
+        let b = Buchi::from_ltl(&f);
+        let h = holds(&trace);
+        prop_assert_eq!(
+            b.accepts_finite(trace.len(), &h),
+            f.eval_finite(trace.len(), &h),
+            "formula {} on finite trace {:?}", f, trace
+        );
+    }
+
+    #[test]
+    fn buchi_matches_lasso_semantics(
+        f in arb_ltl(),
+        trace in arb_trace(),
+        loop_frac in 0.0f64..1.0
+    ) {
+        let loop_start = ((trace.len() - 1) as f64 * loop_frac) as usize;
+        let b = Buchi::from_ltl(&f);
+        let h = holds(&trace);
+        prop_assert_eq!(
+            b.accepts_lasso(trace.len(), loop_start, &h),
+            f.eval_lasso(trace.len(), loop_start, &h),
+            "formula {} on lasso {:?} (loop at {})", f, trace, loop_start
+        );
+    }
+
+    /// The automaton of `φ ∧ ¬φ` accepts nothing.
+    #[test]
+    fn contradiction_accepts_nothing(f in arb_ltl(), trace in arb_trace()) {
+        let contradiction = f.clone().and(f.not());
+        let b = Buchi::from_ltl(&contradiction);
+        let h = holds(&trace);
+        prop_assert!(!b.accepts_finite(trace.len(), &h));
+        prop_assert!(!b.accepts_lasso(trace.len(), 0, &h));
+    }
+
+    /// `φ ∨ ¬φ` accepts every word.
+    #[test]
+    fn excluded_middle_accepts_everything(f in arb_ltl(), trace in arb_trace()) {
+        let tautology = f.clone().or(f.not());
+        let b = Buchi::from_ltl(&tautology);
+        let h = holds(&trace);
+        prop_assert!(b.accepts_finite(trace.len(), &h));
+        prop_assert!(b.accepts_lasso(trace.len(), 0, &h));
+    }
+}

@@ -1,0 +1,44 @@
+//! The Hierarchical Artifact System (HAS) model of Deutsch, Li and Vianu
+//! (PODS 2016), Section 2.
+//!
+//! A HAS `Γ = ⟨A, Σ, Π⟩` consists of
+//!
+//! * an **artifact schema** `A = ⟨H, DB⟩`: a database schema `DB` whose
+//!   relations have a key attribute, foreign-key attributes and numeric
+//!   attributes, together with a rooted tree `H` of **task schemas**, each
+//!   owning a tuple of artifact variables and one updatable artifact
+//!   relation;
+//! * a set of **services** `Σ`: per-task internal services (pre/post
+//!   conditions plus insertions/retrievals on the artifact relation) and the
+//!   opening/closing services that pass input and return variables between a
+//!   task and its children;
+//! * a global **pre-condition** `Π` on the root task's input variables.
+//!
+//! This crate defines the abstract syntax of all of the above, an ergonomic
+//! [`builder::SystemBuilder`], structural validation ([`validate`]) of the
+//! well-formedness rules and of the syntactic decidability restrictions of
+//! Section 6, and schema analysis (foreign-key graph classification into
+//! acyclic / linearly-cyclic / cyclic, the driver of the complexity results
+//! in Tables 1 and 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod condition;
+pub mod ids;
+pub mod schema;
+pub mod system;
+pub mod task;
+pub mod validate;
+
+pub use builder::SystemBuilder;
+pub use condition::{Atom, Condition, Term};
+pub use ids::{RelationId, ServiceRef, TaskId, VarId};
+pub use schema::{AttrKind, Attribute, DatabaseSchema, Relation, SchemaClass};
+pub use system::{ArtifactSchema, ArtifactSystem};
+pub use task::{
+    ArtifactRelation, ClosingService, InternalService, OpeningService, SetUpdate, TaskSchema,
+    VarSort, Variable,
+};
+pub use validate::{validate, ValidationError};

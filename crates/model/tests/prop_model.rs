@@ -1,0 +1,101 @@
+//! Property-based tests for the model layer: random schemas and conditions.
+
+use has_model::{
+    AttrKind, Attribute, Condition, DatabaseSchema, Relation, RelationId, SchemaClass,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random database schema with `n` relations and random foreign
+/// keys among them (possibly cyclic).
+fn arb_schema(max_relations: usize) -> impl Strategy<Value = DatabaseSchema> {
+    (1..=max_relations).prop_flat_map(|n| {
+        // For each relation, a set of foreign-key targets.
+        proptest::collection::vec(proptest::collection::vec(0..n, 0..3), n).prop_map(
+            move |fk_targets| {
+                let relations = fk_targets
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, targets)| {
+                        let mut attributes = vec![
+                            Attribute {
+                                name: "id".into(),
+                                kind: AttrKind::Key,
+                            },
+                            Attribute {
+                                name: "v".into(),
+                                kind: AttrKind::Numeric,
+                            },
+                        ];
+                        for (k, t) in targets.into_iter().enumerate() {
+                            attributes.push(Attribute {
+                                name: format!("fk{k}"),
+                                kind: AttrKind::ForeignKey(RelationId(t)),
+                            });
+                        }
+                        Relation {
+                            name: format!("R{i}"),
+                            attributes,
+                        }
+                    })
+                    .collect();
+                DatabaseSchema { relations }
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The three schema classes are mutually consistent: acyclic implies
+    /// linearly-cyclic behaviour of the classifier, and the classifier never
+    /// disagrees with the direct acyclicity test.
+    #[test]
+    fn schema_classification_is_consistent(schema in arb_schema(4)) {
+        let class = schema.classify();
+        match class {
+            SchemaClass::Acyclic => prop_assert!(schema.is_acyclic()),
+            SchemaClass::LinearlyCyclic => {
+                prop_assert!(!schema.is_acyclic());
+                prop_assert!(schema.is_linearly_cyclic());
+            }
+            SchemaClass::Cyclic => {
+                prop_assert!(!schema.is_acyclic());
+                prop_assert!(!schema.is_linearly_cyclic());
+            }
+        }
+    }
+
+    /// Path counting is monotone in the depth bound and respects its cap.
+    #[test]
+    fn path_counting_is_monotone(schema in arb_schema(4), n in 1usize..6) {
+        let small = schema.max_paths_up_to(n, 1_000);
+        let large = schema.max_paths_up_to(n + 1, 1_000);
+        prop_assert!(small <= large);
+        prop_assert!(schema.max_paths_up_to(n, 5) <= 5);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Condition combinators preserve the de Morgan dualities under the
+    /// three-valued-free boolean evaluation.
+    #[test]
+    fn condition_negation_is_involutive(flags in proptest::collection::vec(any::<bool>(), 1..6)) {
+        // Build a condition tree over dummy atoms indexed by position.
+        use has_model::{Atom, Term, VarId};
+        let atoms: Vec<Condition> = (0..flags.len())
+            .map(|i| Condition::Atom(Atom::Eq(Term::Var(VarId(i)), Term::Null)))
+            .collect();
+        let cond = Condition::any(atoms.clone()).and(Condition::all(atoms));
+        let truth = |c: &Condition| {
+            c.eval_with(&mut |a: &Atom| match a {
+                Atom::Eq(Term::Var(VarId(i)), Term::Null) => flags[*i],
+                _ => false,
+            })
+        };
+        prop_assert_eq!(truth(&cond), !truth(&cond.clone().negate()));
+        prop_assert_eq!(truth(&cond.clone().negate().negate()), truth(&cond));
+    }
+}

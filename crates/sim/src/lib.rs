@@ -1,0 +1,28 @@
+//! Concrete operational semantics for Hierarchical Artifact Systems.
+//!
+//! While the verifier (`has-core`) explores *symbolic* runs, this crate
+//! executes artifact systems on concrete databases, implementing the
+//! semantics of Section 2 and Appendix B.1:
+//!
+//! * [`execution::TaskInstance`] — a task's valuation and artifact-relation
+//!   contents;
+//! * [`execution::Executor`] — builds trees of local runs by repeatedly
+//!   firing enabled steps (internal services, child openings/closings) with
+//!   randomized choices, on a concrete [`has_data::DatabaseInstance`];
+//! * [`trace`] — flattens a tree of local runs into the per-task traces used
+//!   by the runtime monitor;
+//! * [`monitor`] — evaluates HLTL-FO formulas on the (finite prefixes of)
+//!   recorded runs, serving as an independent oracle for the verifier on
+//!   small instances: a concrete violation found by simulation implies the
+//!   verifier must report a violation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod execution;
+pub mod monitor;
+pub mod trace;
+
+pub use execution::{ExecutionConfig, Executor, StepKind, TaskInstance};
+pub use monitor::monitor_property;
+pub use trace::{TaskTrace, TreeOfRuns};

@@ -1,0 +1,482 @@
+//! Per-task symbolic context: the expression universe and atom basis.
+//!
+//! The paper's T-isomorphism types range over all navigation expressions up
+//! to the depth `h(T)`; a practical verifier only needs the expressions the
+//! specification and the property can *observe* — the variables themselves,
+//! the constants appearing in conditions, and, for every ID variable `x` and
+//! every relation `R` for which some condition contains an atom `R(x, …)`,
+//! the navigations `x_R.a` (extended further along foreign keys up to a
+//! configurable depth). The [`TaskContext`] computes this universe once per
+//! task and provides the index structures the symbolic state operates on.
+
+use crate::expr::{Expr, Sort};
+use has_arith::Rational;
+use has_model::{
+    ArtifactSchema, ArtifactSystem, Atom, AttrKind, Condition, RelationId, TaskId, Term, VarId,
+    VarSort,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The symbolic context of a task: expression universe, sorts, and the atom
+/// basis used to bound successor enumeration.
+#[derive(Clone, Debug)]
+pub struct TaskContext {
+    /// The task this context describes.
+    pub task: TaskId,
+    /// The expression universe `E⁺_T` (index = expression id).
+    pub exprs: Vec<Expr>,
+    /// Static sort per expression (for ID variables this is refined
+    /// dynamically by the state's binding).
+    pub sorts: Vec<Sort>,
+    /// Index of [`Expr::Null`].
+    pub null_idx: usize,
+    /// Index of [`Expr::Zero`].
+    pub zero_idx: usize,
+    /// The task's ID variables, with the candidate relations each may be
+    /// bound to (relations appearing with the variable in key position of a
+    /// relation atom).
+    pub id_var_bindings: BTreeMap<VarId, Vec<RelationId>>,
+    /// For every expression, the expressions related to it by some atom of
+    /// the basis (used to bound the classes considered when enumerating a
+    /// freshly written variable's value).
+    pub related: Vec<BTreeSet<usize>>,
+    expr_index: BTreeMap<Expr, usize>,
+}
+
+impl TaskContext {
+    /// Builds the context of a task from the artifact system and any extra
+    /// conditions (property propositions attached to the task, and — for the
+    /// root task — the global pre-condition).
+    ///
+    /// `nav_depth` bounds foreign-key navigation beyond the attributes
+    /// directly observable by relation atoms (depth 1 is always included).
+    pub fn build(
+        system: &ArtifactSystem,
+        task: TaskId,
+        extra_conditions: &[Condition],
+        nav_depth: usize,
+    ) -> Self {
+        Self::build_with_bindings(system, task, extra_conditions, nav_depth, &BTreeMap::new())
+    }
+
+    /// Like [`TaskContext::build`], but seeds additional candidate bindings
+    /// for the task's variables. The verifier uses this to propagate bindings
+    /// across task boundaries (a variable passed to a child that navigates it
+    /// must be navigable in the parent too, otherwise facts established by
+    /// the child would be lost when they flow back through the parent).
+    pub fn build_with_bindings(
+        system: &ArtifactSystem,
+        task: TaskId,
+        extra_conditions: &[Condition],
+        nav_depth: usize,
+        seed_bindings: &BTreeMap<VarId, Vec<RelationId>>,
+    ) -> Self {
+        let schema = &system.schema;
+        let t = schema.task(task);
+
+        // Gather all conditions observable from this task's perspective.
+        let mut conditions: Vec<&Condition> = Vec::new();
+        for s in &t.internal_services {
+            conditions.push(&s.pre);
+            conditions.push(&s.post);
+        }
+        conditions.push(&t.closing.pre);
+        for &c in &t.children {
+            conditions.push(&schema.task(c).opening.pre);
+        }
+        if task == schema.root {
+            conditions.push(&system.precondition);
+        }
+        for c in extra_conditions {
+            conditions.push(c);
+        }
+
+        // Candidate bindings: relations appearing with an ID variable of this
+        // task in the key position of a relation atom.
+        let mut id_var_bindings: BTreeMap<VarId, Vec<RelationId>> = BTreeMap::new();
+        for &v in &t.variables {
+            if schema.variable(v).sort == VarSort::Id {
+                let mut seeded = Vec::new();
+                if let Some(extra) = seed_bindings.get(&v) {
+                    seeded.extend(extra.iter().copied());
+                }
+                id_var_bindings.insert(v, seeded);
+            }
+        }
+        let mut constants: BTreeSet<Rational> = BTreeSet::new();
+        for cond in &conditions {
+            for atom in cond.atoms() {
+                match atom {
+                    Atom::Relation { relation, args } => {
+                        if let Some(Term::Var(x)) = args.first() {
+                            if let Some(list) = id_var_bindings.get_mut(x) {
+                                if !list.contains(&relation) {
+                                    list.push(relation);
+                                }
+                            }
+                        }
+                        // A variable in a foreign-key position holds an id of
+                        // the referenced relation: record it as a candidate
+                        // binding so conditions elsewhere can navigate it.
+                        let attrs = &schema.database.relation(relation).attributes;
+                        for (i, term) in args.iter().enumerate().skip(1) {
+                            if let (Some(AttrKind::ForeignKey(target)), Term::Var(z)) =
+                                (attrs.get(i).map(|a| a.kind), term)
+                            {
+                                if let Some(list) = id_var_bindings.get_mut(z) {
+                                    if !list.contains(&target) {
+                                        list.push(target);
+                                    }
+                                }
+                            }
+                        }
+                        for term in &args {
+                            if let Term::Const(c) = term {
+                                if !c.is_zero() {
+                                    constants.insert(*c);
+                                }
+                            }
+                        }
+                    }
+                    Atom::Eq(a, b) => {
+                        for term in [a, b] {
+                            if let Term::Const(c) = term {
+                                if !c.is_zero() {
+                                    constants.insert(c.clone());
+                                }
+                            }
+                        }
+                    }
+                    Atom::Arith(_) => {}
+                }
+            }
+        }
+
+        // Assemble the universe.
+        let mut exprs: Vec<Expr> = vec![Expr::Null, Expr::Zero];
+        for c in &constants {
+            exprs.push(Expr::Const(*c));
+        }
+        for &v in &t.variables {
+            exprs.push(Expr::Var(v));
+        }
+        // Navigations: one step per attribute for each candidate binding,
+        // extended along foreign keys up to `nav_depth`.
+        for (&v, rels) in &id_var_bindings {
+            for &rel in rels {
+                let mut frontier: Vec<(RelationId, Vec<usize>)> = vec![(rel, Vec::new())];
+                for depth in 0..nav_depth.max(1) {
+                    let mut next_frontier = Vec::new();
+                    for (current, path) in &frontier {
+                        for (idx, attr) in
+                            schema.database.relation(*current).attributes.iter().enumerate()
+                        {
+                            if matches!(attr.kind, AttrKind::Key) {
+                                continue;
+                            }
+                            let mut p = path.clone();
+                            p.push(idx);
+                            exprs.push(Expr::Nav {
+                                var: v,
+                                rel,
+                                path: p.clone(),
+                            });
+                            if let AttrKind::ForeignKey(target) = attr.kind {
+                                if depth + 1 < nav_depth {
+                                    next_frontier.push((target, p));
+                                }
+                            }
+                        }
+                    }
+                    frontier = next_frontier;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        exprs.sort();
+        exprs.dedup();
+
+        let expr_index: BTreeMap<Expr, usize> =
+            exprs.iter().cloned().enumerate().map(|(i, e)| (e, i)).collect();
+        let sorts: Vec<Sort> = exprs.iter().map(|e| e.sort(schema)).collect();
+        let null_idx = expr_index[&Expr::Null];
+        let zero_idx = expr_index[&Expr::Zero];
+
+        // Atom basis → relatedness between expressions.
+        let mut related: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); exprs.len()];
+        let relate = |a: usize, b: usize, related: &mut Vec<BTreeSet<usize>>| {
+            related[a].insert(b);
+            related[b].insert(a);
+        };
+        let term_idx = |term: &Term, expr_index: &BTreeMap<Expr, usize>| -> Option<usize> {
+            match term {
+                Term::Var(v) => expr_index.get(&Expr::Var(*v)).copied(),
+                Term::Null => expr_index.get(&Expr::Null).copied(),
+                Term::Const(c) if c.is_zero() => expr_index.get(&Expr::Zero).copied(),
+                Term::Const(c) => expr_index.get(&Expr::Const(*c)).copied(),
+            }
+        };
+        for cond in &conditions {
+            for atom in cond.atoms() {
+                match atom {
+                    Atom::Eq(a, b) => {
+                        if let (Some(i), Some(j)) = (term_idx(&a, &expr_index), term_idx(&b, &expr_index)) {
+                            relate(i, j, &mut related);
+                        }
+                    }
+                    Atom::Relation { relation, args } => {
+                        let Some(Term::Var(x)) = args.first() else { continue };
+                        for (attr_idx, term) in args.iter().enumerate().skip(1) {
+                            let nav = Expr::Nav {
+                                var: *x,
+                                rel: relation,
+                                path: vec![attr_idx],
+                            };
+                            if let (Some(i), Some(j)) =
+                                (expr_index.get(&nav).copied(), term_idx(term, &expr_index))
+                            {
+                                relate(i, j, &mut related);
+                            }
+                        }
+                    }
+                    Atom::Arith(c) => {
+                        // Numeric variables compared by arithmetic are
+                        // related to each other and to the constants.
+                        let vars: Vec<usize> = c
+                            .variables()
+                            .filter_map(|v| expr_index.get(&Expr::Var(*v)).copied())
+                            .collect();
+                        for i in 0..vars.len() {
+                            for j in i + 1..vars.len() {
+                                relate(vars[i], vars[j], &mut related);
+                            }
+                            relate(vars[i], zero_idx, &mut related);
+                        }
+                    }
+                }
+            }
+        }
+
+        TaskContext {
+            task,
+            exprs,
+            sorts,
+            null_idx,
+            zero_idx,
+            id_var_bindings,
+            related,
+            expr_index,
+        }
+    }
+
+    /// Number of expressions in the universe.
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Returns `true` if the universe is empty (never the case in practice —
+    /// `null` and `0` are always present).
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+
+    /// The index of an expression, if it belongs to the universe.
+    pub fn index_of(&self, e: &Expr) -> Option<usize> {
+        self.expr_index.get(e).copied()
+    }
+
+    /// The index of a variable's expression.
+    ///
+    /// # Panics
+    /// Panics if the variable is not part of this task's universe.
+    pub fn var_idx(&self, v: VarId) -> usize {
+        self.index_of(&Expr::Var(v))
+            .expect("variable not in this task's universe")
+    }
+
+    /// The index of a term of a condition, if representable.
+    pub fn term_idx(&self, term: &Term) -> Option<usize> {
+        match term {
+            Term::Var(v) => self.index_of(&Expr::Var(*v)),
+            Term::Null => Some(self.null_idx),
+            Term::Const(c) if c.is_zero() => Some(self.zero_idx),
+            Term::Const(c) => self.index_of(&Expr::Const(*c)),
+        }
+    }
+
+    /// The navigation expressions anchored at a variable, together with the
+    /// relation they assume the variable is bound to.
+    pub fn navs_of(&self, v: VarId) -> impl Iterator<Item = (usize, RelationId)> + '_ {
+        self.exprs.iter().enumerate().filter_map(move |(i, e)| match e {
+            Expr::Nav { var, rel, .. } if *var == v => Some((i, *rel)),
+            _ => None,
+        })
+    }
+
+    /// The expression extending `idx` by one attribute step, if present in
+    /// the universe (used for congruence closure).
+    pub fn child_of(&self, idx: usize, attr: usize) -> Option<usize> {
+        match &self.exprs[idx] {
+            Expr::Var(v) => {
+                // A variable's children exist for each candidate binding; the
+                // caller supplies the binding-specific relation via `navs_of`,
+                // so here we only handle the unique-binding case.
+                let rels = self.id_var_bindings.get(v)?;
+                if rels.len() == 1 {
+                    self.index_of(&Expr::Nav {
+                        var: *v,
+                        rel: rels[0],
+                        path: vec![attr],
+                    })
+                } else {
+                    None
+                }
+            }
+            Expr::Nav { var, rel, path } => {
+                let mut p = path.clone();
+                p.push(attr);
+                self.index_of(&Expr::Nav {
+                    var: *var,
+                    rel: *rel,
+                    path: p,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The candidate relations an ID variable can be bound to.
+    pub fn bindings_for(&self, v: VarId) -> &[RelationId] {
+        self.id_var_bindings
+            .get(&v)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Expressions related to the given one through the atom basis.
+    pub fn related_to(&self, idx: usize) -> &BTreeSet<usize> {
+        &self.related[idx]
+    }
+
+    /// Renders an expression for diagnostics.
+    pub fn display_expr(&self, schema: &ArtifactSchema, idx: usize) -> String {
+        self.exprs[idx].display(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use has_model::{SetUpdate, SystemBuilder};
+
+    fn travel_like() -> (ArtifactSystem, TaskId) {
+        let mut b = SystemBuilder::new("t");
+        b.relation("HOTELS", &["unit_price"], &[]);
+        b.relation("FLIGHTS", &["price"], &[("comp_hotel", "HOTELS")]);
+        let root = b.root_task("Root");
+        let flight = b.id_var(root, "flight_id");
+        let hotel = b.id_var(root, "hotel_id");
+        let price = b.num_var(root, "price");
+        let status = b.num_var(root, "status");
+        let flights = b.relation_id("FLIGHTS").unwrap();
+        // post: FLIGHTS(flight, price, hotel) ∧ status = 1
+        let post = Condition::relation(
+            flights,
+            vec![Term::Var(flight), Term::Var(price), Term::Var(hotel)],
+        )
+        .and(Condition::eq_const(status, Rational::from_int(1)));
+        b.internal_service(root, "choose", Condition::True, post, SetUpdate::None);
+        let sys = b.build().unwrap();
+        let root = sys.root();
+        (sys, root)
+    }
+
+    #[test]
+    fn universe_contains_expected_expressions() {
+        let (sys, root) = travel_like();
+        let ctx = TaskContext::build(&sys, root, &[], 1);
+        let schema = &sys.schema;
+        let flight = schema.var_by_name(root, "flight_id").unwrap();
+        let flights = schema.database.relation_by_name("FLIGHTS").unwrap();
+        // Universe has null, 0, constant 1, 4 variables, 2 navigations from
+        // flight (price, comp_hotel).
+        assert!(ctx.index_of(&Expr::Null).is_some());
+        assert!(ctx.index_of(&Expr::Const(Rational::from_int(1))).is_some());
+        assert!(ctx
+            .index_of(&Expr::Nav {
+                var: flight,
+                rel: flights,
+                path: vec![1]
+            })
+            .is_some());
+        assert!(ctx
+            .index_of(&Expr::Nav {
+                var: flight,
+                rel: flights,
+                path: vec![2]
+            })
+            .is_some());
+        assert_eq!(ctx.bindings_for(flight), &[flights]);
+        // hotel_id appears in a foreign-key position referencing HOTELS, so
+        // it picks up HOTELS as a candidate binding (and one navigation).
+        let hotel = schema.var_by_name(root, "hotel_id").unwrap();
+        let hotels = schema.database.relation_by_name("HOTELS").unwrap();
+        assert_eq!(ctx.bindings_for(hotel), &[hotels]);
+        assert_eq!(ctx.len(), 10);
+        assert!(!ctx.is_empty());
+    }
+
+    #[test]
+    fn deeper_navigation_depth_adds_fk_chains() {
+        let (sys, root) = travel_like();
+        let shallow = TaskContext::build(&sys, root, &[], 1);
+        let deep = TaskContext::build(&sys, root, &[], 2);
+        assert!(deep.len() > shallow.len());
+        let schema = &sys.schema;
+        let flight = schema.var_by_name(root, "flight_id").unwrap();
+        let flights = schema.database.relation_by_name("FLIGHTS").unwrap();
+        // flight@FLIGHTS.comp_hotel.unit_price exists at depth 2.
+        assert!(deep
+            .index_of(&Expr::Nav {
+                var: flight,
+                rel: flights,
+                path: vec![2, 1]
+            })
+            .is_some());
+    }
+
+    #[test]
+    fn atom_basis_relates_condition_expressions() {
+        let (sys, root) = travel_like();
+        let ctx = TaskContext::build(&sys, root, &[], 1);
+        let schema = &sys.schema;
+        let price = schema.var_by_name(root, "price").unwrap();
+        let flight = schema.var_by_name(root, "flight_id").unwrap();
+        let flights = schema.database.relation_by_name("FLIGHTS").unwrap();
+        let price_idx = ctx.var_idx(price);
+        let nav_price = ctx
+            .index_of(&Expr::Nav {
+                var: flight,
+                rel: flights,
+                path: vec![1],
+            })
+            .unwrap();
+        assert!(ctx.related_to(price_idx).contains(&nav_price));
+        // The status variable is related to the constant 1.
+        let status = schema.var_by_name(root, "status").unwrap();
+        let one = ctx.index_of(&Expr::Const(Rational::from_int(1))).unwrap();
+        assert!(ctx.related_to(ctx.var_idx(status)).contains(&one));
+    }
+
+    #[test]
+    fn property_conditions_extend_the_universe() {
+        let (sys, root) = travel_like();
+        let schema = &sys.schema;
+        let status = schema.var_by_name(root, "status").unwrap();
+        let extra = Condition::eq_const(status, Rational::from_int(42));
+        let ctx = TaskContext::build(&sys, root, &[extra], 1);
+        assert!(ctx.index_of(&Expr::Const(Rational::from_int(42))).is_some());
+    }
+}

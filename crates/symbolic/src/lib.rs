@@ -1,0 +1,36 @@
+//! Symbolic representation of local runs (Section 4.1 of the paper).
+//!
+//! The verifier never enumerates concrete databases or valuations. Instead,
+//! each reachable situation of a task is summarized by a **symbolic state**:
+//! an equality type over a finite universe of *expressions* — the task's
+//! artifact variables, the constants `null` and `0`, and foreign-key
+//! navigation expressions `x_R.w` anchored at the task's ID variables —
+//! together with, for every ID variable, the relation its value is an
+//! identifier of (or `null`). This is the paper's *T-isomorphism type*,
+//! restricted to the navigation expressions that the task's conditions and
+//! the property can actually observe (see DESIGN.md §5.3–5.4 for why this
+//! restriction preserves the verification outcomes at the granularity of the
+//! specification's atoms while keeping the state space tractable — the same
+//! engineering choice made by the authors' later VERIFAS prototype).
+//!
+//! The crate provides:
+//!
+//! * [`Expr`] — navigation expressions and their sorts;
+//! * [`TaskContext`] — the per-task expression universe and atom basis,
+//!   derived from the specification and the property;
+//! * [`SymState`] — the equality type itself, with congruence closure (key
+//!   dependencies), condition evaluation, canonical projection keys
+//!   (used for the TS-isomorphism-type counters and for the input/output
+//!   types exchanged between tasks), and the extension enumeration used by
+//!   the verifier to compute successors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod expr;
+pub mod state;
+
+pub use context::TaskContext;
+pub use expr::{Expr, Sort};
+pub use state::{transfer_pattern, ProjectionKey, SymState};

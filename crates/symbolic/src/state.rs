@@ -1,0 +1,862 @@
+//! Symbolic states: equality types with congruence closure.
+//!
+//! A [`SymState`] assigns every expression of a [`TaskContext`] universe to
+//! an equivalence class (or marks it dead), and records for every ID variable
+//! the relation it is bound to (or `null`). It upholds the invariants of the
+//! paper's T-isomorphism types (Definition 15):
+//!
+//! * expressions in the same class have compatible sorts;
+//! * an unbound ID variable is in the class of `null`;
+//! * distinct numeric constants are never identified;
+//! * the key dependencies are respected: equal ID-sorted expressions have
+//!   equal attribute navigations (congruence closure).
+
+use crate::context::TaskContext;
+use crate::expr::{Expr, Sort};
+use has_model::{ArtifactSchema, Atom, Condition, RelationId, Term, VarId, VarSort};
+use has_arith::LinearConstraint;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Class id marking a dead expression (navigation whose anchor variable is
+/// not bound to the navigation's relation).
+const DEAD: u32 = u32::MAX;
+
+/// A canonical projection of a symbolic state onto a subset of expressions:
+/// the sequence of class ids renumbered in first-occurrence order (dead
+/// expressions keep the `DEAD` marker). Two states have the same projection
+/// key iff their restrictions to those expressions are isomorphic.
+pub type ProjectionKey = Vec<u32>;
+
+/// A symbolic state (restricted T-isomorphism type) over a task's universe.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymState {
+    /// Class id per universe expression (`DEAD` for dead navigations).
+    class: Vec<u32>,
+    /// Binding per ID variable (parallel to the context's
+    /// `id_var_bindings` iteration order): `None` = null.
+    binding: BTreeMap<VarId, Option<RelationId>>,
+}
+
+impl SymState {
+    /// The blank state of a task: every ID variable is `null`, every numeric
+    /// variable equals `0`, all navigations are dead. This is the state of a
+    /// freshly opened task before its input variables are written
+    /// (Definition 9's initialization).
+    pub fn blank(ctx: &TaskContext, schema: &ArtifactSchema) -> Self {
+        let mut class = vec![DEAD; ctx.len()];
+        // Class 0: null and all id variables. Class 1: zero, constants get
+        // their own classes, numeric variables join zero.
+        let mut next = 2u32;
+        for (i, e) in ctx.exprs.iter().enumerate() {
+            match e {
+                Expr::Null => class[i] = 0,
+                Expr::Zero => class[i] = 1,
+                Expr::Const(_) => {
+                    class[i] = next;
+                    next += 1;
+                }
+                Expr::Var(v) => {
+                    class[i] = match schema.variable(*v).sort {
+                        VarSort::Id => 0,
+                        VarSort::Numeric => 1,
+                    }
+                }
+                Expr::Nav { .. } => class[i] = DEAD,
+            }
+        }
+        let binding = ctx
+            .id_var_bindings
+            .keys()
+            .map(|v| (*v, None))
+            .collect();
+        let mut s = SymState { class, binding };
+        s.normalize();
+        s
+    }
+
+    /// The class of an expression (`DEAD` for dead navigations).
+    pub fn class_of(&self, idx: usize) -> u32 {
+        self.class[idx]
+    }
+
+    /// Returns `true` if the expression is live.
+    pub fn is_live(&self, idx: usize) -> bool {
+        self.class[idx] != DEAD
+    }
+
+    /// Returns `true` if the two expressions are live and equal.
+    pub fn eq(&self, a: usize, b: usize) -> bool {
+        self.class[a] != DEAD && self.class[a] == self.class[b]
+    }
+
+    /// The binding of an ID variable (`None` = null).
+    pub fn binding_of(&self, v: VarId) -> Option<RelationId> {
+        self.binding.get(&v).copied().flatten()
+    }
+
+    /// Returns `true` if the ID variable is null in this state.
+    pub fn is_null(&self, ctx: &TaskContext, v: VarId) -> bool {
+        self.class[ctx.var_idx(v)] == self.class[ctx.null_idx]
+    }
+
+    /// The dynamic sort of an expression: for ID variables the binding
+    /// refines the static sort.
+    fn dyn_sort(&self, ctx: &TaskContext, idx: usize) -> Sort {
+        match &ctx.exprs[idx] {
+            Expr::Var(v) => match self.binding.get(v) {
+                Some(Some(rel)) => Sort::Id(*rel),
+                Some(None) => Sort::Null,
+                None => ctx.sorts[idx],
+            },
+            _ => ctx.sorts[idx],
+        }
+    }
+
+    /// Renumbers classes canonically (first-occurrence order over the
+    /// expression universe), so structural equality of states coincides with
+    /// isomorphism of the underlying equality types.
+    pub fn normalize(&mut self) {
+        let mut map: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut next = 0u32;
+        for c in self.class.iter_mut() {
+            if *c == DEAD {
+                continue;
+            }
+            let entry = map.entry(*c).or_insert_with(|| {
+                let v = next;
+                next += 1;
+                v
+            });
+            *c = *entry;
+        }
+    }
+
+    /// Binds an ID variable to a relation, bringing its navigation
+    /// expressions to life in fresh classes (one per navigation), and moving
+    /// the variable itself out of the `null` class into a fresh class.
+    ///
+    /// Any previous binding is discarded. Congruence with existing equal
+    /// variables is not re-established here (callers bind variables before
+    /// asserting equalities).
+    pub fn bind(&mut self, ctx: &TaskContext, v: VarId, rel: Option<RelationId>) {
+        self.binding.insert(v, rel);
+        let var_idx = ctx.var_idx(v);
+        let mut next = self.max_class().wrapping_add(1);
+        match rel {
+            None => {
+                self.class[var_idx] = self.class[ctx.null_idx];
+                for (nav_idx, _) in ctx.navs_of(v) {
+                    self.class[nav_idx] = DEAD;
+                }
+            }
+            Some(r) => {
+                self.class[var_idx] = next;
+                next += 1;
+                for (nav_idx, nav_rel) in ctx.navs_of(v) {
+                    if nav_rel == r {
+                        self.class[nav_idx] = next;
+                        next += 1;
+                    } else {
+                        self.class[nav_idx] = DEAD;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assigns a numeric variable to a fresh class of its own.
+    pub fn fresh_numeric(&mut self, ctx: &TaskContext, v: VarId) {
+        let idx = ctx.var_idx(v);
+        self.class[idx] = self.max_class().wrapping_add(1);
+    }
+
+    fn max_class(&self) -> u32 {
+        self.class
+            .iter()
+            .copied()
+            .filter(|c| *c != DEAD)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Merges the classes of two expressions, propagating congruence (equal
+    /// ID expressions have equal attribute navigations) and refusing merges
+    /// that violate sort discipline or identify distinct constants.
+    ///
+    /// Returns `Err(())` if the merge is inconsistent.
+    pub fn union(&mut self, ctx: &TaskContext, a: usize, b: usize) -> Result<(), ()> {
+        let mut pending = vec![(a, b)];
+        while let Some((x, y)) = pending.pop() {
+            let (cx, cy) = (self.class[x], self.class[y]);
+            if cx == DEAD || cy == DEAD {
+                return Err(());
+            }
+            if cx == cy {
+                continue;
+            }
+            // Sort compatibility.
+            let (sx, sy) = (self.dyn_sort(ctx, x), self.dyn_sort(ctx, y));
+            let compatible = match (sx, sy) {
+                (Sort::Numeric, Sort::Numeric) => true,
+                (Sort::Null, Sort::Null) => true,
+                (Sort::Id(r1), Sort::Id(r2)) => r1 == r2,
+                // A null-sorted expression can only be the constant null or
+                // an unbound variable; identifying it with a bound ID
+                // expression is inconsistent (the paper forces null-sorted
+                // expressions to equal null).
+                _ => false,
+            };
+            if !compatible {
+                return Err(());
+            }
+            // Distinct constants can never be identified; nor can a non-zero
+            // constant be identified with zero.
+            let mut constant_classes: BTreeMap<u32, &Expr> = BTreeMap::new();
+            for (i, e) in ctx.exprs.iter().enumerate() {
+                if matches!(e, Expr::Const(_) | Expr::Zero) && self.class[i] != DEAD {
+                    constant_classes.insert(self.class[i], e);
+                }
+            }
+            if let (Some(e1), Some(e2)) = (constant_classes.get(&cx), constant_classes.get(&cy)) {
+                if e1 != e2 {
+                    return Err(());
+                }
+            }
+            // Merge cy into cx.
+            for c in self.class.iter_mut() {
+                if *c == cy {
+                    *c = cx;
+                }
+            }
+            // Congruence: children of expressions now equal must be equal.
+            // Collect pairs (child_x, child_y) for representatives of the
+            // merged class whose children exist in the universe.
+            let members: Vec<usize> = (0..ctx.len())
+                .filter(|i| self.class[*i] == cx)
+                .collect();
+            for i in 0..members.len() {
+                for j in i + 1..members.len() {
+                    let (mi, mj) = (members[i], members[j]);
+                    for attr in 0..self.max_attr(ctx) {
+                        let (ci, cj) = (self.child_idx(ctx, mi, attr), self.child_idx(ctx, mj, attr));
+                        if let (Some(ci), Some(cj)) = (ci, cj) {
+                            if self.class[ci] != DEAD
+                                && self.class[cj] != DEAD
+                                && self.class[ci] != self.class[cj]
+                            {
+                                pending.push((ci, cj));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn max_attr(&self, ctx: &TaskContext) -> usize {
+        // Upper bound on attribute indices appearing in the universe.
+        ctx.exprs
+            .iter()
+            .filter_map(|e| match e {
+                Expr::Nav { path, .. } => path.iter().max().copied(),
+                _ => None,
+            })
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0)
+    }
+
+    /// The child expression of `idx` along attribute `attr`, taking the
+    /// current binding of variables into account.
+    fn child_idx(&self, ctx: &TaskContext, idx: usize, attr: usize) -> Option<usize> {
+        match &ctx.exprs[idx] {
+            Expr::Var(v) => {
+                let rel = self.binding.get(v).copied().flatten()?;
+                ctx.index_of(&Expr::Nav {
+                    var: *v,
+                    rel,
+                    path: vec![attr],
+                })
+            }
+            Expr::Nav { var, rel, path } => {
+                let mut p = path.clone();
+                p.push(attr);
+                ctx.index_of(&Expr::Nav {
+                    var: *var,
+                    rel: *rel,
+                    path: p,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluates a condition on this state.
+    ///
+    /// Equality and relation atoms are decided by the equality type;
+    /// arithmetic atoms are delegated to `arith_oracle` (returning `None`
+    /// means "not determined by the abstraction"). The overall result is
+    /// three-valued: `Some(bool)` when determined, `None` otherwise.
+    pub fn satisfies(
+        &self,
+        ctx: &TaskContext,
+        condition: &Condition,
+        arith_oracle: &dyn Fn(&LinearConstraint<VarId>) -> Option<bool>,
+    ) -> Option<bool> {
+        match condition {
+            Condition::True => Some(true),
+            Condition::False => Some(false),
+            Condition::Not(c) => self.satisfies(ctx, c, arith_oracle).map(|b| !b),
+            Condition::And(cs) => {
+                let mut unknown = false;
+                for c in cs {
+                    match self.satisfies(ctx, c, arith_oracle) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => unknown = true,
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+            Condition::Or(cs) => {
+                let mut unknown = false;
+                for c in cs {
+                    match self.satisfies(ctx, c, arith_oracle) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => unknown = true,
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            Condition::Atom(atom) => self.satisfies_atom(ctx, atom, arith_oracle),
+        }
+    }
+
+    fn satisfies_atom(
+        &self,
+        ctx: &TaskContext,
+        atom: &Atom,
+        arith_oracle: &dyn Fn(&LinearConstraint<VarId>) -> Option<bool>,
+    ) -> Option<bool> {
+        match atom {
+            Atom::Eq(a, b) => {
+                let (i, j) = (ctx.term_idx(a)?, ctx.term_idx(b)?);
+                Some(self.eq(i, j))
+            }
+            Atom::Relation { relation, args } => {
+                let Some(Term::Var(x)) = args.first() else {
+                    return Some(false);
+                };
+                // The atom is false if any argument is null (Section 2).
+                if self.binding_of(*x) != Some(*relation) {
+                    return Some(false);
+                }
+                for (attr_idx, term) in args.iter().enumerate().skip(1) {
+                    let nav = ctx.index_of(&Expr::Nav {
+                        var: *x,
+                        rel: *relation,
+                        path: vec![attr_idx],
+                    })?;
+                    let t = ctx.term_idx(term)?;
+                    if matches!(term, Term::Null) {
+                        return Some(false);
+                    }
+                    if let Term::Var(v) = term {
+                        if ctx.exprs[ctx.var_idx(*v)] == Expr::Var(*v)
+                            && self.class[ctx.var_idx(*v)] == self.class[ctx.null_idx]
+                        {
+                            return Some(false);
+                        }
+                    }
+                    if !self.eq(nav, t) {
+                        return Some(false);
+                    }
+                }
+                Some(true)
+            }
+            Atom::Arith(c) => arith_oracle(c),
+        }
+    }
+
+    /// Like [`SymState::satisfies`], but atoms mentioning any variable in
+    /// `unknown_vars` are treated as undetermined (`None`). Used by the
+    /// verifier's successor enumeration to prune partial assignments without
+    /// mis-judging atoms over variables that have not been rewritten yet.
+    pub fn satisfies_with_unknowns(
+        &self,
+        ctx: &TaskContext,
+        condition: &Condition,
+        unknown_vars: &std::collections::BTreeSet<VarId>,
+        arith_oracle: &dyn Fn(&LinearConstraint<VarId>) -> Option<bool>,
+    ) -> Option<bool> {
+        match condition {
+            Condition::True => Some(true),
+            Condition::False => Some(false),
+            Condition::Not(c) => self
+                .satisfies_with_unknowns(ctx, c, unknown_vars, arith_oracle)
+                .map(|b| !b),
+            Condition::And(cs) => {
+                let mut unknown = false;
+                for c in cs {
+                    match self.satisfies_with_unknowns(ctx, c, unknown_vars, arith_oracle) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => unknown = true,
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+            Condition::Or(cs) => {
+                let mut unknown = false;
+                for c in cs {
+                    match self.satisfies_with_unknowns(ctx, c, unknown_vars, arith_oracle) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => unknown = true,
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            Condition::Atom(atom) => {
+                let touches_unknown = match atom {
+                    Atom::Eq(a, b) => [a, b].iter().any(|t| match t {
+                        Term::Var(v) => unknown_vars.contains(v),
+                        _ => false,
+                    }),
+                    Atom::Relation { args, .. } => args.iter().any(|t| match t {
+                        Term::Var(v) => unknown_vars.contains(v),
+                        _ => false,
+                    }),
+                    Atom::Arith(c) => c.variables().any(|v| unknown_vars.contains(v)),
+                };
+                if touches_unknown {
+                    None
+                } else {
+                    self.satisfies_atom(ctx, atom, arith_oracle)
+                }
+            }
+        }
+    }
+
+    /// Canonical projection key onto an arbitrary list of expressions.
+    pub fn projection_key(&self, exprs: &[usize]) -> ProjectionKey {
+        let mut map: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut next = 0u32;
+        exprs
+            .iter()
+            .map(|&i| {
+                let c = self.class[i];
+                if c == DEAD {
+                    DEAD
+                } else {
+                    *map.entry(c).or_insert_with(|| {
+                        let v = next;
+                        next += 1;
+                        v
+                    })
+                }
+            })
+            .collect()
+    }
+
+    /// Canonical projection key onto the expressions anchored at the given
+    /// variables (the variables themselves, their navigations) plus `null`
+    /// and `0`. This is the paper's projection `τ|z̄`; with
+    /// `vars = x̄_in ∪ s̄^T` it is the TS-isomorphism type used to index the
+    /// artifact-relation counters.
+    pub fn project_vars(&self, ctx: &TaskContext, vars: &[VarId]) -> ProjectionKey {
+        let exprs = Self::projection_exprs(ctx, vars);
+        self.projection_key(&exprs)
+    }
+
+    /// The expression indices involved in [`SymState::project_vars`] for the
+    /// given variables (stable across states, so keys are comparable).
+    pub fn projection_exprs(ctx: &TaskContext, vars: &[VarId]) -> Vec<usize> {
+        let mut out: Vec<usize> = vec![ctx.null_idx, ctx.zero_idx];
+        for (i, e) in ctx.exprs.iter().enumerate() {
+            match e {
+                Expr::Var(v) | Expr::Nav { var: v, .. } => {
+                    if vars.contains(v) {
+                        out.push(i);
+                    }
+                }
+                Expr::Const(_) => out.push(i),
+                _ => {}
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Copies the classes and bindings of the expressions anchored at `vars`
+    /// from `source` into `self`, leaving everything else untouched and then
+    /// re-normalizing. Both states must share the same context. Used to
+    /// preserve input variables across internal transitions.
+    pub fn adopt_vars(&mut self, ctx: &TaskContext, source: &SymState, vars: &[VarId]) {
+        // To keep equalities among the adopted variables exactly as in
+        // `source` (and not accidentally identify them with unrelated classes
+        // of `self`), shift adopted classes into a fresh range.
+        let offset = self.max_class().wrapping_add(1);
+        for (i, e) in ctx.exprs.iter().enumerate() {
+            let var = match e {
+                Expr::Var(v) | Expr::Nav { var: v, .. } => Some(*v),
+                _ => None,
+            };
+            if let Some(v) = var {
+                if vars.contains(&v) {
+                    let c = source.class[i];
+                    self.class[i] = if c == DEAD {
+                        DEAD
+                    } else if c == source.class[ctx.null_idx] {
+                        // Stay identified with null.
+                        self.class[ctx.null_idx]
+                    } else if c == source.class[ctx.zero_idx] {
+                        self.class[ctx.zero_idx]
+                    } else if let Some(k) = source.constant_class_expr(ctx, c) {
+                        self.class[k]
+                    } else {
+                        offset + c
+                    };
+                }
+            }
+        }
+        for v in vars {
+            if let Some(b) = source.binding.get(v) {
+                self.binding.insert(*v, *b);
+            }
+        }
+        self.normalize();
+    }
+
+    /// If class `c` in this state contains a constant expression (`0` or a
+    /// named constant), returns that expression's index.
+    fn constant_class_expr(&self, ctx: &TaskContext, c: u32) -> Option<usize> {
+        ctx.exprs.iter().enumerate().find_map(|(i, e)| {
+            (matches!(e, Expr::Const(_) | Expr::Zero) && self.class[i] == c).then_some(i)
+        })
+    }
+
+    /// Number of live classes.
+    pub fn class_count(&self) -> usize {
+        let mut set = BTreeSet::new();
+        for c in &self.class {
+            if *c != DEAD {
+                set.insert(*c);
+            }
+        }
+        set.len()
+    }
+}
+
+/// Transfers the equality/binding pattern of `src` (over `src_ctx`) onto
+/// `dst` (over `dst_ctx`) along a variable correspondence `var_map`
+/// (`(src_var, dst_var)` pairs): destination variables listed in the map are
+/// re-bound according to the source, and every pair of destination
+/// expressions whose corresponding source expressions are equal in `src` is
+/// unioned in `dst`. Corresponding expressions are: mapped variables, their
+/// navigations with identical relation and path, `null`, `0`, and identical
+/// named constants.
+///
+/// This is the workhorse of the cross-task steps of the verifier: computing a
+/// child's input isomorphism type from the parent's state on opening
+/// (Definition 18), and writing a child's output pattern back into the parent
+/// on closing.
+pub fn transfer_pattern(
+    src_ctx: &TaskContext,
+    src: &SymState,
+    dst_ctx: &TaskContext,
+    dst: &mut SymState,
+    var_map: &[(VarId, VarId)],
+) {
+    // Re-bind the destination ID variables first so their navigations are
+    // live. Numeric variables have no binding; their classes are set by the
+    // equality replication below (callers give them fresh classes first).
+    for (sv, dv) in var_map {
+        let idx = dst_ctx.var_idx(*dv);
+        if dst_ctx.sorts[idx] != Sort::Numeric {
+            dst.bind(dst_ctx, *dv, src.binding_of(*sv));
+        }
+    }
+    // Build the correspondence dst expression -> src expression.
+    let corresponding = |dst_expr: &Expr| -> Option<Expr> {
+        match dst_expr {
+            Expr::Null => Some(Expr::Null),
+            Expr::Zero => Some(Expr::Zero),
+            Expr::Const(c) => Some(Expr::Const(*c)),
+            Expr::Var(v) => var_map
+                .iter()
+                .find(|(_, dv)| dv == v)
+                .map(|(sv, _)| Expr::Var(*sv)),
+            Expr::Nav { var, rel, path } => var_map
+                .iter()
+                .find(|(_, dv)| dv == var)
+                .map(|(sv, _)| Expr::Nav {
+                    var: *sv,
+                    rel: *rel,
+                    path: path.clone(),
+                }),
+        }
+    };
+    let pairs: Vec<(usize, usize)> = dst_ctx
+        .exprs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| {
+            let src_expr = corresponding(e)?;
+            let j = src_ctx.index_of(&src_expr)?;
+            Some((i, j))
+        })
+        .collect();
+    for (di, si) in &pairs {
+        for (dj, sj) in &pairs {
+            let src_equal = SymState::eq(src, *si, *sj);
+            let dst_equal = SymState::eq(dst, *di, *dj);
+            if di < dj && src_equal && dst.is_live(*di) && dst.is_live(*dj) && !dst_equal {
+                let _ = dst.union(dst_ctx, *di, *dj);
+            }
+        }
+    }
+    dst.normalize();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use has_arith::Rational;
+    use has_model::{SetUpdate, SystemBuilder};
+
+    struct Fix {
+        system: has_model::ArtifactSystem,
+        ctx: TaskContext,
+        flight: VarId,
+        hotel: VarId,
+        price: VarId,
+        status: VarId,
+        flights: RelationId,
+    }
+
+    fn fixture() -> Fix {
+        let mut b = SystemBuilder::new("t");
+        b.relation("HOTELS", &["unit_price"], &[]);
+        b.relation("FLIGHTS", &["price"], &[("comp_hotel", "HOTELS")]);
+        let root = b.root_task("Root");
+        let flight = b.id_var(root, "flight_id");
+        let hotel = b.id_var(root, "hotel_id");
+        let price = b.num_var(root, "price");
+        let status = b.num_var(root, "status");
+        let flights = b.relation_id("FLIGHTS").unwrap();
+        let post = Condition::relation(
+            flights,
+            vec![Term::Var(flight), Term::Var(price), Term::Var(hotel)],
+        )
+        .and(Condition::eq_const(status, Rational::from_int(1)));
+        b.internal_service(root, "choose", Condition::True, post, SetUpdate::None);
+        let system = b.build().unwrap();
+        let root = system.root();
+        let ctx = TaskContext::build(&system, root, &[], 1);
+        Fix {
+            system,
+            ctx,
+            flight,
+            hotel,
+            price,
+            status,
+            flights,
+        }
+    }
+
+    fn no_arith(_: &LinearConstraint<VarId>) -> Option<bool> {
+        None
+    }
+
+    #[test]
+    fn blank_state_has_null_ids_and_zero_numerics() {
+        let f = fixture();
+        let s = SymState::blank(&f.ctx, &f.system.schema);
+        assert!(s.is_null(&f.ctx, f.flight));
+        assert!(s.is_null(&f.ctx, f.hotel));
+        assert!(s.eq(f.ctx.var_idx(f.price), f.ctx.zero_idx));
+        assert_eq!(s.binding_of(f.flight), None);
+        assert_eq!(
+            s.satisfies(&f.ctx, &Condition::is_null(f.flight), &no_arith),
+            Some(true)
+        );
+        assert_eq!(
+            s.satisfies(&f.ctx, &Condition::eq_const(f.price, Rational::ZERO), &no_arith),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn binding_brings_navigations_to_life() {
+        let f = fixture();
+        let mut s = SymState::blank(&f.ctx, &f.system.schema);
+        s.bind(&f.ctx, f.flight, Some(f.flights));
+        assert!(!s.is_null(&f.ctx, f.flight));
+        assert_eq!(s.binding_of(f.flight), Some(f.flights));
+        let nav_price = f
+            .ctx
+            .index_of(&Expr::Nav {
+                var: f.flight,
+                rel: f.flights,
+                path: vec![1],
+            })
+            .unwrap();
+        assert!(s.is_live(nav_price));
+        // Unbinding kills them again and re-identifies with null.
+        s.bind(&f.ctx, f.flight, None);
+        assert!(!s.is_live(nav_price));
+        assert!(s.is_null(&f.ctx, f.flight));
+    }
+
+    #[test]
+    fn relation_atom_requires_binding_and_attribute_equalities() {
+        let f = fixture();
+        let mut s = SymState::blank(&f.ctx, &f.system.schema);
+        let atom = Condition::relation(
+            f.flights,
+            vec![Term::Var(f.flight), Term::Var(f.price), Term::Var(f.hotel)],
+        );
+        assert_eq!(s.satisfies(&f.ctx, &atom, &no_arith), Some(false));
+        // Bind flight and hotel, then align the attribute navigations.
+        s.bind(&f.ctx, f.flight, Some(f.flights));
+        let hotels = f.system.schema.database.relation_by_name("HOTELS").unwrap();
+        s.bind(&f.ctx, f.hotel, Some(hotels));
+        let nav_price = f
+            .ctx
+            .index_of(&Expr::Nav {
+                var: f.flight,
+                rel: f.flights,
+                path: vec![1],
+            })
+            .unwrap();
+        let nav_hotel = f
+            .ctx
+            .index_of(&Expr::Nav {
+                var: f.flight,
+                rel: f.flights,
+                path: vec![2],
+            })
+            .unwrap();
+        s.union(&f.ctx, nav_price, f.ctx.var_idx(f.price)).unwrap();
+        s.union(&f.ctx, nav_hotel, f.ctx.var_idx(f.hotel)).unwrap();
+        assert_eq!(s.satisfies(&f.ctx, &atom, &no_arith), Some(true));
+    }
+
+    #[test]
+    fn unions_reject_sort_violations_and_constant_clashes() {
+        let f = fixture();
+        let mut s = SymState::blank(&f.ctx, &f.system.schema);
+        // numeric with null: reject.
+        assert!(s.union(&f.ctx, f.ctx.var_idx(f.price), f.ctx.null_idx).is_err());
+        // distinct constants: reject (1 vs 0).
+        let one = f.ctx.index_of(&Expr::Const(Rational::from_int(1))).unwrap();
+        assert!(s.union(&f.ctx, one, f.ctx.zero_idx).is_err());
+        // numeric variable with the constant 1: fine once the variable has
+        // been given a fresh value (in the blank state it is still 0).
+        s.fresh_numeric(&f.ctx, f.status);
+        assert!(s.union(&f.ctx, f.ctx.var_idx(f.status), one).is_ok());
+        assert_eq!(
+            s.satisfies(
+                &f.ctx,
+                &Condition::eq_const(f.status, Rational::from_int(1)),
+                &no_arith
+            ),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn congruence_propagates_along_navigations() {
+        let f = fixture();
+        let deep_ctx = TaskContext::build(&f.system, f.system.root(), &[], 2);
+        let mut s = SymState::blank(&deep_ctx, &f.system.schema);
+        // Bind hotel and flight; make flight's comp_hotel equal to hotel.
+        let hotels = f.system.schema.database.relation_by_name("HOTELS").unwrap();
+        s.bind(&deep_ctx, f.flight, Some(f.flights));
+        s.bind(&deep_ctx, f.hotel, Some(hotels));
+        let nav_comp = deep_ctx
+            .index_of(&Expr::Nav {
+                var: f.flight,
+                rel: f.flights,
+                path: vec![2],
+            })
+            .unwrap();
+        s.union(&deep_ctx, nav_comp, deep_ctx.var_idx(f.hotel)).unwrap();
+        // Congruence: flight@FLIGHTS.comp_hotel.unit_price ~ hotel@HOTELS.unit_price.
+        let deep_nav = deep_ctx
+            .index_of(&Expr::Nav {
+                var: f.flight,
+                rel: f.flights,
+                path: vec![2, 1],
+            })
+            .unwrap();
+        let hotel_price = deep_ctx
+            .index_of(&Expr::Nav {
+                var: f.hotel,
+                rel: hotels,
+                path: vec![1],
+            })
+            .unwrap();
+        assert!(s.eq(deep_nav, hotel_price));
+    }
+
+    #[test]
+    fn projection_keys_are_canonical() {
+        let f = fixture();
+        let mut a = SymState::blank(&f.ctx, &f.system.schema);
+        let mut b = SymState::blank(&f.ctx, &f.system.schema);
+        a.fresh_numeric(&f.ctx, f.price);
+        b.fresh_numeric(&f.ctx, f.price);
+        a.normalize();
+        b.normalize();
+        assert_eq!(
+            a.project_vars(&f.ctx, &[f.price, f.status]),
+            b.project_vars(&f.ctx, &[f.price, f.status])
+        );
+        // Making price equal to status in `a` changes the projection.
+        a.union(&f.ctx, f.ctx.var_idx(f.price), f.ctx.var_idx(f.status))
+            .unwrap();
+        assert_ne!(
+            a.project_vars(&f.ctx, &[f.price, f.status]),
+            b.project_vars(&f.ctx, &[f.price, f.status])
+        );
+    }
+
+    #[test]
+    fn adopt_vars_preserves_source_pattern() {
+        let f = fixture();
+        let mut source = SymState::blank(&f.ctx, &f.system.schema);
+        source.bind(&f.ctx, f.flight, Some(f.flights));
+        source.fresh_numeric(&f.ctx, f.price);
+        source.normalize();
+        let mut target = SymState::blank(&f.ctx, &f.system.schema);
+        target.adopt_vars(&f.ctx, &source, &[f.flight, f.price]);
+        assert_eq!(target.binding_of(f.flight), Some(f.flights));
+        assert!(!target.is_null(&f.ctx, f.flight));
+        // price is in its own class, distinct from zero.
+        assert!(!target.eq(f.ctx.var_idx(f.price), f.ctx.zero_idx));
+        // hotel untouched: still null.
+        assert!(target.is_null(&f.ctx, f.hotel));
+        assert!(target.class_count() >= 3);
+    }
+}

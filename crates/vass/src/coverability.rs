@@ -1,0 +1,316 @@
+//! Karp–Miller coverability graph with ω-acceleration.
+
+use crate::vass::Vass;
+use std::collections::{BTreeMap, VecDeque};
+
+/// The ω value of a marking coordinate ("arbitrarily large").
+pub const OMEGA: u64 = u64::MAX;
+
+/// An extended marking: one value per counter, where [`OMEGA`] means the
+/// counter can be pumped above any bound.
+pub type Marking = Vec<u64>;
+
+fn add(marking: &Marking, delta: &[i64]) -> Option<Marking> {
+    let mut out = Vec::with_capacity(marking.len());
+    for (m, d) in marking.iter().zip(delta) {
+        if *m == OMEGA {
+            out.push(OMEGA);
+        } else {
+            let v = (*m as i128) + (*d as i128);
+            if v < 0 {
+                return None;
+            }
+            out.push(v as u64);
+        }
+    }
+    Some(out)
+}
+
+fn leq(a: &Marking, b: &Marking) -> bool {
+    a.iter().zip(b).all(|(x, y)| *x <= *y)
+}
+
+/// A node of the coverability graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// Control state.
+    pub state: usize,
+    /// Extended marking.
+    pub marking: Marking,
+    /// Parent node id in the Karp–Miller tree (`None` for the root).
+    pub parent: Option<usize>,
+    /// The index (into the VASS action list) of the action taken from the
+    /// parent.
+    pub via_action: Option<usize>,
+}
+
+/// The Karp–Miller coverability graph of a VASS from a given initial control
+/// state (with all counters initially zero).
+///
+/// Nodes with identical `(state, marking)` pairs are canonicalized; edges
+/// record the underlying VASS action so that cycle effects can be computed
+/// exactly.
+#[derive(Clone, Debug)]
+pub struct CoverabilityGraph {
+    nodes: Vec<Node>,
+    /// Edges `(from_node, action_index, to_node)`.
+    edges: Vec<(usize, usize, usize)>,
+    /// Canonical node per `(state, marking)`.
+    index: BTreeMap<(usize, Marking), usize>,
+}
+
+impl CoverabilityGraph {
+    /// Builds the coverability graph of `vass` from `(init, 0̄)`.
+    pub fn build(vass: &Vass, init: usize) -> Self {
+        Self::build_capped(vass, init, usize::MAX)
+    }
+
+    /// Like [`CoverabilityGraph::build`], but stops expanding once the graph
+    /// has `max_nodes` nodes. A truncated graph under-approximates
+    /// reachability (everything it contains is genuinely coverable); callers
+    /// that rely on exhaustiveness should pass `usize::MAX`.
+    pub fn build_capped(vass: &Vass, init: usize, max_nodes: usize) -> Self {
+        let mut graph = CoverabilityGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            index: BTreeMap::new(),
+        };
+        let root_marking = vec![0u64; vass.dim];
+        let root = graph.intern(init, root_marking, None, None);
+        let mut worklist = VecDeque::from([root]);
+        let mut expanded = vec![false; 1];
+
+        while let Some(node_id) = worklist.pop_front() {
+            if expanded[node_id] {
+                continue;
+            }
+            if graph.nodes.len() >= max_nodes {
+                break;
+            }
+            expanded[node_id] = true;
+            let (state, marking) = {
+                let n = &graph.nodes[node_id];
+                (n.state, n.marking.clone())
+            };
+            for (action_idx, action) in vass.actions_from(state) {
+                let Some(mut next) = add(&marking, &action.delta) else {
+                    continue;
+                };
+                // ω-acceleration: if some ancestor (in the Karp–Miller tree)
+                // has the same control state and a marking strictly dominated
+                // by `next`, the strictly larger coordinates can be pumped.
+                let mut ancestor = Some(node_id);
+                while let Some(a) = ancestor {
+                    let anc = &graph.nodes[a];
+                    if anc.state == action.to && leq(&anc.marking, &next) && anc.marking != next {
+                        for (i, (av, nv)) in anc.marking.iter().zip(next.iter_mut()).enumerate() {
+                            let _ = i;
+                            if *av < *nv {
+                                *nv = OMEGA;
+                            }
+                        }
+                    }
+                    ancestor = anc.parent;
+                }
+                let existed = graph.index.contains_key(&(action.to, next.clone()));
+                let target = graph.intern(action.to, next, Some(node_id), Some(action_idx));
+                graph.edges.push((node_id, action_idx, target));
+                if !existed {
+                    expanded.push(false);
+                    worklist.push_back(target);
+                }
+            }
+        }
+        graph
+    }
+
+    fn intern(
+        &mut self,
+        state: usize,
+        marking: Marking,
+        parent: Option<usize>,
+        via_action: Option<usize>,
+    ) -> usize {
+        if let Some(&id) = self.index.get(&(state, marking.clone())) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            state,
+            marking: marking.clone(),
+            parent,
+            via_action,
+        });
+        self.index.insert((state, marking), id);
+        id
+    }
+
+    /// Iterates over the nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Number of nodes (a cost metric reported by the benchmarks).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// A sequence of VASS action indices leading from the root to some node
+    /// with the given control state, if one exists.
+    pub fn path_to_state(&self, target: usize) -> Option<Vec<usize>> {
+        let node = self.nodes.iter().position(|n| n.state == target)?;
+        let mut path = Vec::new();
+        let mut current = node;
+        while let Some(parent) = self.nodes[current].parent {
+            path.push(
+                self.nodes[current]
+                    .via_action
+                    .expect("non-root nodes record their incoming action"),
+            );
+            current = parent;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Searches for a cycle through some node with control state `target`
+    /// whose summed action effect is componentwise non-negative — the
+    /// witness for state repeated reachability (Lemma 21's lasso).
+    ///
+    /// The DFS bounds cycle length by `max_len` (default: `2 · |nodes|`) and
+    /// prunes paths whose accumulated effect is dominated by an already-seen
+    /// accumulated effect at the same node with no larger depth.
+    pub fn nonneg_cycle_through(
+        &self,
+        vass: &Vass,
+        target: usize,
+        max_len: Option<usize>,
+    ) -> bool {
+        self.nonneg_cycle_through_pred(vass, &|s| s == target, max_len)
+    }
+
+    /// Like [`CoverabilityGraph::nonneg_cycle_through`], but accepts any
+    /// control state satisfying the predicate (used by the verifier, where
+    /// "accepting" is a property of the encoded Büchi component).
+    pub fn nonneg_cycle_through_pred(
+        &self,
+        vass: &Vass,
+        target: &dyn Fn(usize) -> bool,
+        max_len: Option<usize>,
+    ) -> bool {
+        let max_len = max_len.unwrap_or(2 * self.nodes.len().max(1));
+        // Outgoing adjacency with action deltas.
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.nodes.len()];
+        for &(from, action, to) in &self.edges {
+            adj[from].push((action, to));
+        }
+        for start in 0..self.nodes.len() {
+            if !target(self.nodes[start].state) {
+                continue;
+            }
+            // DFS with accumulated deltas and dominance pruning.
+            let mut seen: Vec<Vec<(Vec<i64>, usize)>> = vec![Vec::new(); self.nodes.len()];
+            let mut stack: Vec<(usize, Vec<i64>, usize)> =
+                vec![(start, vec![0i64; vass.dim], 0usize)];
+            while let Some((node, acc, depth)) = stack.pop() {
+                if depth > 0 && node == start && acc.iter().all(|d| *d >= 0) {
+                    return true;
+                }
+                if depth >= max_len {
+                    continue;
+                }
+                // Dominance pruning.
+                let dominated = seen[node]
+                    .iter()
+                    .any(|(prev, pd)| *pd <= depth && prev.iter().zip(&acc).all(|(p, a)| p >= a));
+                if dominated && depth > 0 {
+                    continue;
+                }
+                seen[node].retain(|(prev, pd)| {
+                    !(depth <= *pd && acc.iter().zip(prev).all(|(a, p)| a >= p))
+                });
+                seen[node].push((acc.clone(), depth));
+                for &(action_idx, next) in &adj[node] {
+                    let delta = &vass.actions[action_idx].delta;
+                    let next_acc: Vec<i64> =
+                        acc.iter().zip(delta).map(|(a, d)| a + d).collect();
+                    stack.push((next, next_acc, depth + 1));
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceleration_produces_omega() {
+        let mut v = Vass::new(1, 1);
+        v.add_action(0, vec![1], 0);
+        let g = CoverabilityGraph::build(&v, 0);
+        assert!(g.nodes().any(|n| n.marking == vec![OMEGA]));
+        // The graph is finite despite the unbounded counter.
+        assert!(g.node_count() <= 3);
+    }
+
+    #[test]
+    fn negative_moves_from_zero_are_blocked() {
+        let mut v = Vass::new(2, 1);
+        v.add_action(0, vec![-1], 1);
+        let g = CoverabilityGraph::build(&v, 0);
+        assert!(g.nodes().all(|n| n.state != 1));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn path_extraction_reaches_target() {
+        let mut v = Vass::new(3, 1);
+        v.add_action(0, vec![2], 1);
+        v.add_action(1, vec![-1], 2);
+        let g = CoverabilityGraph::build(&v, 0);
+        let path = g.path_to_state(2).unwrap();
+        assert_eq!(path.len(), 2);
+        assert!(g.path_to_state(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn two_dimensional_markings() {
+        // Transfer loop: (+1,-1) needs the second counter, which never has
+        // tokens, so only the producing action on dim 0 fires.
+        let mut v = Vass::new(1, 2);
+        v.add_action(0, vec![1, 0], 0);
+        v.add_action(0, vec![1, -1], 0);
+        let g = CoverabilityGraph::build(&v, 0);
+        assert!(g.nodes().any(|n| n.marking[0] == OMEGA));
+        assert!(g.nodes().all(|n| n.marking[1] != OMEGA));
+    }
+
+    #[test]
+    fn nonneg_cycle_detection_respects_sign() {
+        // One node, two self loops: -1 and +1. A non-negative cycle exists
+        // (+1, or +1 then -1).
+        let mut v = Vass::new(1, 1);
+        v.add_action(0, vec![1], 0);
+        v.add_action(0, vec![-1], 0);
+        let g = CoverabilityGraph::build(&v, 0);
+        assert!(g.nonneg_cycle_through(&v, 0, None));
+
+        // Only a decrementing loop: no non-negative cycle, even though the
+        // coverability graph has a cycle at ω.
+        let mut v2 = Vass::new(2, 1);
+        v2.add_action(0, vec![1], 0);
+        v2.add_action(0, vec![0], 1);
+        v2.add_action(1, vec![-1], 1);
+        let g2 = CoverabilityGraph::build(&v2, 0);
+        assert!(g2.nonneg_cycle_through(&v2, 0, None));
+        assert!(!g2.nonneg_cycle_through(&v2, 1, None));
+    }
+}

@@ -1,0 +1,39 @@
+//! Vector Addition Systems with States (VASS).
+//!
+//! Section 4.2 of the paper reduces the per-task relations `R_T` to state
+//! reachability and state *repeated* reachability questions on VASS whose
+//! states encode symbolic task configurations and whose vector dimensions are
+//! the TS-isomorphism-type counters of the artifact relation. This crate is
+//! the decision-procedure substrate for those questions:
+//!
+//! * [`Vass`] — explicit VASS with integer-delta actions;
+//! * [`CoverabilityGraph`] — the Karp–Miller coverability graph with
+//!   ω-acceleration;
+//! * [`Vass::state_reachable`] — control-state reachability (used for the
+//!   *returning* and *blocking* paths of Lemma 21), with witness extraction;
+//! * [`Vass::state_repeated_reachable`] — repeated reachability (the *lasso*
+//!   paths of Lemma 21): a reachable configuration with control state `q_f`
+//!   from which the same control state is reached again with componentwise
+//!   no-smaller counters;
+//! * [`BoundedExplorer`] — an explicit-state explorer with counter caps, used
+//!   for witness replay and as a test oracle against the Karp–Miller
+//!   procedures.
+//!
+//! The paper cites the Rackoff/Habermehl EXPSPACE bounds for these problems;
+//! Karp–Miller is the standard practical algorithm deciding the same queries
+//! (see DESIGN.md §5.2 for the substitution note). Lasso detection searches
+//! the coverability graph for a cycle through the target state whose summed
+//! action effect is componentwise non-negative, with dominance pruning; the
+//! search depth is bounded (configurable) and the default bound is generous
+//! relative to the graphs the verifier produces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod coverability;
+pub mod vass;
+
+pub use bounded::BoundedExplorer;
+pub use coverability::{CoverabilityGraph, Marking, OMEGA};
+pub use vass::{Action, Vass};

@@ -1,0 +1,134 @@
+//! The counter-machine gadget of Theorem 11 / Figure 2.
+//!
+//! The paper's undecidability proof for full LTL over services builds a HAS
+//! whose root has `d` counter subtasks `C₁ … C_d`, each holding an artifact
+//! relation whose cardinality encodes a counter, plus a state subtask `P₀`.
+//! Cross-task LTL can synchronize the counters into a reset-VASS simulation;
+//! HLTL-FO cannot (it is interleaving-invariant), which is exactly why the
+//! paper adopts it.
+//!
+//! The gadget is reproduced here for experiment EXP-F2: it is a legal HAS
+//! (HLTL-FO properties about it are verifiable), and the *cross-task* LTL
+//! formula that the reduction needs is not expressible as an HLTL-FO formula
+//! — attempting to state it forces a formula over a single task's observable
+//! services, which the type system of [`has_ltl::hltl`] rejects.
+
+use has_arith::Rational;
+use has_ltl::hltl::HltlBuilder;
+use has_ltl::HltlFormula;
+use has_model::{ArtifactSystem, Condition, ServiceRef, SetUpdate, SystemBuilder, TaskId};
+
+/// The gadget system together with its task handles.
+#[derive(Clone, Debug)]
+pub struct CounterGadget {
+    /// The artifact system.
+    pub system: ArtifactSystem,
+    /// Root task.
+    pub root: TaskId,
+    /// The state-holding subtask `P0`.
+    pub p0: TaskId,
+    /// The counter subtasks `C1..Cd`.
+    pub counters: Vec<TaskId>,
+}
+
+/// Builds the gadget with `d` counter subtasks.
+pub fn counter_gadget(d: usize) -> CounterGadget {
+    let mut b = SystemBuilder::new("counter-gadget");
+    b.relation("R", &[], &[]);
+    let r = b.relation_id("R").unwrap();
+
+    let root = b.root_task("T1");
+    // The root itself carries no data.
+    let _anchor = b.num_var(root, "anchor");
+
+    // P0 holds the simulated control state of the counter machine.
+    let p0 = b.child_task(root, "P0");
+    let s = b.num_var(p0, "s");
+    b.open_when(p0, Condition::True);
+    b.internal_service(
+        p0,
+        "SetState",
+        Condition::True,
+        Condition::eq_const(s, Rational::from_int(1))
+            .or(Condition::eq_const(s, Rational::from_int(2))),
+        SetUpdate::None,
+    );
+    b.close_when(p0, Condition::True);
+
+    let mut counters = Vec::new();
+    for i in 0..d {
+        let ci = b.child_task(root, &format!("C{}", i + 1));
+        let x = b.id_var(ci, &format!("x{}", i + 1));
+        b.artifact_relation(ci, &format!("S{}", i + 1), &[x]);
+        b.open_when(ci, Condition::True);
+        // Increment: insert the current element; the post binds the element
+        // to an arbitrary R-tuple so successive inserts can be distinct.
+        b.internal_service(
+            ci,
+            "Inc",
+            Condition::True,
+            Condition::relation(r, vec![has_model::Term::Var(x)]),
+            SetUpdate::Insert,
+        );
+        // Decrement: retrieve some element.
+        b.internal_service(
+            ci,
+            "Dec",
+            Condition::True,
+            Condition::True,
+            SetUpdate::Retrieve,
+        );
+        b.close_when(ci, Condition::True);
+        counters.push(ci);
+    }
+
+    let system = b.build().expect("counter gadget is well-formed");
+    CounterGadget {
+        system,
+        root,
+        p0,
+        counters,
+    }
+}
+
+/// An HLTL-FO property over the gadget: *counter 1 can always keep making
+/// progress* — within the run of `C1`, globally, after an increment an
+/// eventual decrement follows. This is a legal (per-task) property, in
+/// contrast to the cross-task synchronization that the undecidability
+/// reduction needs and that HLTL-FO deliberately cannot express.
+pub fn counter_liveness_property(g: &CounterGadget) -> HltlFormula {
+    let c1 = g.counters[0];
+    let mut cb = HltlBuilder::new(c1);
+    let inc = cb.service(ServiceRef::Internal(c1, 0));
+    let dec = cb.service(ServiceRef::Internal(c1, 1));
+    let psi = cb.finish(inc.implies(dec.eventually()).globally());
+
+    let mut rb = HltlBuilder::new(g.root);
+    let open_c1 = rb.service(ServiceRef::Opening(c1));
+    let sub = rb.child(c1, psi);
+    rb.finish(open_c1.implies(sub).globally())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use has_model::validate;
+
+    #[test]
+    fn gadget_scales_with_d() {
+        for d in [1, 2, 4] {
+            let g = counter_gadget(d);
+            assert!(validate(&g.system).is_ok());
+            assert_eq!(g.counters.len(), d);
+            assert_eq!(g.system.schema.task_count(), d + 2);
+            assert!(g.system.schema.uses_artifact_relations());
+        }
+    }
+
+    #[test]
+    fn liveness_property_is_well_formed() {
+        let g = counter_gadget(2);
+        let p = counter_liveness_property(&g);
+        assert!(p.validate(&g.system).is_ok());
+    }
+}

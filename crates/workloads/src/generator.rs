@@ -1,0 +1,316 @@
+//! Parametric HAS families for the complexity experiments (Tables 1 and 2).
+//!
+//! [`GeneratorParams`] exposes exactly the knobs the paper's complexity
+//! analysis identifies:
+//!
+//! * the **schema class** — acyclic, linearly-cyclic, or cyclic foreign keys
+//!   (the columns of Tables 1 and 2);
+//! * whether tasks carry **artifact relations** (the rows);
+//! * whether conditions carry **arithmetic constraints** (Table 1 vs 2);
+//! * the **hierarchy depth** `h` and branching width, and the number of
+//!   variables per task (the size parameter `N`).
+//!
+//! [`generate`](GeneratorParams::generate) produces a well-formed system plus
+//! a property whose verification exercises the whole pipeline (a nested
+//! guarantee about every child invocation plus a root-level safety clause).
+
+use has_arith::{LinExpr, LinearConstraint, Rational};
+use has_ltl::hltl::HltlBuilder;
+use has_ltl::HltlFormula;
+use has_model::{
+    ArtifactSystem, Condition, SchemaClass, ServiceRef, SetUpdate, SystemBuilder, TaskId, Term,
+};
+
+/// Parameters of a generated verification instance.
+#[derive(Clone, Debug)]
+pub struct GeneratorParams {
+    /// Foreign-key shape of the database schema.
+    pub schema_class: SchemaClass,
+    /// Depth of the task hierarchy (1 = a single root task).
+    pub depth: usize,
+    /// Number of children per non-leaf task.
+    pub width: usize,
+    /// Number of extra numeric variables per task.
+    pub numeric_vars: usize,
+    /// Whether tasks carry artifact relations (with insert/retrieve
+    /// services).
+    pub artifact_relations: bool,
+    /// Whether conditions include linear arithmetic constraints.
+    pub arithmetic: bool,
+}
+
+impl Default for GeneratorParams {
+    fn default() -> Self {
+        GeneratorParams {
+            schema_class: SchemaClass::Acyclic,
+            depth: 2,
+            width: 1,
+            numeric_vars: 1,
+            artifact_relations: false,
+            arithmetic: false,
+        }
+    }
+}
+
+/// A generated instance: the system, the property, and a label for reports.
+#[derive(Clone, Debug)]
+pub struct GeneratedSystem {
+    /// The artifact system.
+    pub system: ArtifactSystem,
+    /// The property to verify.
+    pub property: HltlFormula,
+    /// Human-readable label (used in benchmark output).
+    pub label: String,
+}
+
+impl GeneratorParams {
+    /// A short label describing the parameter point.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}ar/{}arith/d{}w{}v{}",
+            self.schema_class,
+            if self.artifact_relations { "+" } else { "-" },
+            if self.arithmetic { "+" } else { "-" },
+            self.depth,
+            self.width,
+            self.numeric_vars
+        )
+    }
+
+    /// Generates the instance.
+    pub fn generate(&self) -> GeneratedSystem {
+        let mut b = SystemBuilder::new("generated");
+
+        // Database schema per class.
+        match self.schema_class {
+            SchemaClass::Acyclic => {
+                b.relation("DIM", &["weight"], &[]);
+                b.relation("FACT", &["measure"], &[("dim", "DIM")]);
+            }
+            SchemaClass::LinearlyCyclic => {
+                b.relation("DIM", &["weight"], &[]);
+                b.relation("FACT", &["measure"], &[("dim", "DIM"), ("next", "FACT")]);
+            }
+            SchemaClass::Cyclic => {
+                b.relation("DIM", &["weight"], &[("back", "FACT")]);
+                b.relation("FACT", &["measure"], &[("dim", "DIM"), ("next", "FACT")]);
+            }
+        }
+        let fact = b.relation_id("FACT").unwrap();
+        let fact_arity = 2 + match self.schema_class {
+            SchemaClass::Acyclic => 1,
+            SchemaClass::LinearlyCyclic | SchemaClass::Cyclic => 2,
+        };
+
+        // Build a complete tree of tasks of the requested depth/width,
+        // remembering each task's parent index in the creation order.
+        let root = b.root_task("T0");
+        let mut all_tasks: Vec<TaskId> = vec![root];
+        let mut parent_of: Vec<Option<usize>> = vec![None];
+        let mut frontier: Vec<usize> = vec![0];
+        for level in 1..self.depth {
+            let mut next = Vec::new();
+            for &pi in &frontier {
+                for w in 0..self.width {
+                    let child = b.child_task(all_tasks[pi], &format!("T{level}_{pi}_{w}"));
+                    all_tasks.push(child);
+                    parent_of.push(Some(pi));
+                    next.push(all_tasks.len() - 1);
+                }
+            }
+            frontier = next;
+        }
+
+        // Populate every task with variables and services.
+        struct TaskVars {
+            item: has_model::VarId,
+            dim: has_model::VarId,
+            status: has_model::VarId,
+            nums: Vec<has_model::VarId>,
+        }
+        let mut vars: Vec<TaskVars> = Vec::new();
+        for (i, &task) in all_tasks.iter().enumerate() {
+            let item = b.id_var(task, &format!("item{i}"));
+            let dim = b.id_var(task, &format!("dim{i}"));
+            let status = b.num_var(task, &format!("status{i}"));
+            let nums: Vec<_> = (0..self.numeric_vars)
+                .map(|k| b.num_var(task, &format!("n{i}_{k}")))
+                .collect();
+            vars.push(TaskVars {
+                item,
+                dim,
+                status,
+                nums,
+            });
+        }
+
+        for (i, &task) in all_tasks.iter().enumerate() {
+            let tv = &vars[i];
+            // A "work" service binding the item to a FACT tuple and setting
+            // the status flag.
+            let mut args = vec![Term::Var(tv.item)];
+            args.push(Term::Var(tv.nums.first().copied().unwrap_or(tv.status)));
+            args.push(Term::Var(tv.dim));
+            if fact_arity == 4 {
+                args.push(Term::Var(tv.item)); // self-referencing `next`
+            }
+            let mut post = Condition::relation(fact, args)
+                .and(Condition::eq_const(tv.status, Rational::from_int(1)));
+            if self.arithmetic {
+                // A linear constraint chaining the numeric variables.
+                for pair in tv.nums.windows(2) {
+                    post = post.and(Condition::arith(LinearConstraint::ge(
+                        LinExpr::var(pair[1]),
+                        LinExpr::var(pair[0]) + LinExpr::constant(Rational::ONE),
+                    )));
+                }
+                post = post.and(Condition::arith(LinearConstraint::ge(
+                    LinExpr::var(tv.nums.first().copied().unwrap_or(tv.status)),
+                    LinExpr::zero(),
+                )));
+            }
+            b.internal_service(task, "Work", Condition::True, post, SetUpdate::None);
+            let _ = task;
+            // A reset service so runs can loop forever.
+            b.internal_service(
+                task,
+                "Reset",
+                Condition::True,
+                Condition::is_null(tv.item).and(Condition::eq_const(tv.status, Rational::ZERO)),
+                SetUpdate::None,
+            );
+            if self.artifact_relations {
+                b.artifact_relation(task, &format!("SET{i}"), &[tv.item, tv.dim]);
+                b.internal_service(
+                    task,
+                    "Stash",
+                    Condition::not_null(tv.item),
+                    Condition::is_null(tv.item),
+                    SetUpdate::Insert,
+                );
+                b.internal_service(
+                    task,
+                    "Unstash",
+                    Condition::True,
+                    Condition::True,
+                    SetUpdate::Retrieve,
+                );
+            }
+        }
+
+        // Wire parent/child openings, inputs and outputs.
+        for (i, &task) in all_tasks.iter().enumerate() {
+            let Some(pi) = parent_of[i] else { continue };
+            let parent_item = vars[pi].item;
+            let parent_status = vars[pi].status;
+            let child_item = vars[i].item;
+            let child_status = vars[i].status;
+            b.open_when(
+                task,
+                Condition::eq_const(parent_status, Rational::from_int(1)),
+            );
+            b.map_input(task, child_item, parent_item);
+            // Each child returns its status into a fresh parent variable to
+            // respect restriction 3 (no overwrite of parent inputs).
+            // The returned variable also gives the property something to say.
+            let ret = b.num_var(all_tasks[pi], &format!("ret_from_{i}"));
+            b.map_output(task, ret, child_status);
+            b.close_when(
+                task,
+                Condition::eq_const(child_status, Rational::from_int(1)),
+            );
+        }
+
+        let system = b.build().expect("generated system is well-formed");
+
+        // Property: every invoked child eventually finishes its work (status
+        // flag set), and the root never reaches status 1 without having done
+        // work — a mixed liveness/safety property with one level of nesting.
+        let root_vars = &vars[0];
+        let property = {
+            let root_task = system.root();
+            let mut rb = HltlBuilder::new(root_task);
+            let worked = rb.condition(Condition::eq_const(
+                root_vars.status,
+                Rational::from_int(1),
+            ));
+            let work_service = rb.service(ServiceRef::Internal(root_task, 0));
+            let mut formula = worked.implies(work_service.or(has_ltl::Ltl::True)).globally();
+            // One nested obligation per direct child of the root.
+            for (i, &task) in all_tasks.iter().enumerate() {
+                if system.task(task).parent == Some(root_task) {
+                    let mut cb = HltlBuilder::new(task);
+                    let done = cb.condition(Condition::eq_const(
+                        vars[i].status,
+                        Rational::from_int(1),
+                    ));
+                    let psi = cb.finish(done.eventually());
+                    let sub = rb.child(task, psi);
+                    let open = rb.service(ServiceRef::Opening(task));
+                    formula = formula.and(open.implies(sub).globally());
+                }
+            }
+            rb.finish(formula)
+        };
+
+        GeneratedSystem {
+            system,
+            property,
+            label: self.label(),
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schema_classes_generate_valid_systems() {
+        for class in [
+            SchemaClass::Acyclic,
+            SchemaClass::LinearlyCyclic,
+            SchemaClass::Cyclic,
+        ] {
+            for artifact in [false, true] {
+                for arith in [false, true] {
+                    let params = GeneratorParams {
+                        schema_class: class,
+                        artifact_relations: artifact,
+                        arithmetic: arith,
+                        ..GeneratorParams::default()
+                    };
+                    let g = params.generate();
+                    assert_eq!(g.system.schema.schema_class(), class);
+                    assert_eq!(g.system.schema.uses_artifact_relations(), artifact);
+                    assert_eq!(g.system.schema.uses_arithmetic(), arith);
+                    assert!(g.property.validate(&g.system).is_ok(), "{}", g.label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_and_width_control_the_hierarchy() {
+        let params = GeneratorParams {
+            depth: 3,
+            width: 2,
+            ..GeneratorParams::default()
+        };
+        let g = params.generate();
+        assert_eq!(g.system.schema.depth(), 3);
+        assert_eq!(g.system.schema.task_count(), 1 + 2 + 4);
+    }
+
+    #[test]
+    fn labels_are_distinct_per_parameter_point() {
+        let a = GeneratorParams::default().label();
+        let b = GeneratorParams {
+            arithmetic: true,
+            ..GeneratorParams::default()
+        }
+        .label();
+        assert_ne!(a, b);
+    }
+}

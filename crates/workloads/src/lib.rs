@@ -1,0 +1,26 @@
+//! Reusable Hierarchical Artifact System workloads.
+//!
+//! * [`travel`] — the paper's running example (Appendix A): a travel-booking
+//!   process with flight/hotel selection, payment, late hotel addition and
+//!   cancellation, in a *buggy* variant (the discount/cancellation policy of
+//!   A.2 can be violated under concurrency) and a *fixed* variant (mutual
+//!   exclusion between the late-add and cancel subtasks), plus the HLTL-FO
+//!   property of Appendix A.2.
+//! * [`orders`] — an order-fulfilment process in the same style (quote,
+//!   reserve stock, invoice, refund) used as a second realistic workload.
+//! * [`counters`] — the counter-machine gadget of Theorem 11 / Figure 2,
+//!   used by experiment EXP-F2.
+//! * [`generator`] — parametric families of systems and properties varying
+//!   the knobs of Tables 1 and 2: schema class (acyclic / linearly-cyclic /
+//!   cyclic), hierarchy depth and width, artifact relations, and arithmetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod generator;
+pub mod orders;
+pub mod travel;
+
+pub use generator::{GeneratedSystem, GeneratorParams};
+pub use travel::{travel_booking, travel_property, TravelVariant};

@@ -1,0 +1,22 @@
+//! Facade crate re-exporting the full Hierarchical Artifact System toolkit.
+//!
+//! See the individual crates for details:
+//! - [`has_model`] — the HAS model (schemas, tasks, services, conditions)
+//! - [`has_data`] — concrete relational database substrate
+//! - [`has_arith`] — linear arithmetic, cells, quantifier elimination
+//! - [`has_ltl`] — LTL / Büchi automata / HLTL-FO
+//! - [`has_symbolic`] — isomorphism types and symbolic runs
+//! - [`has_vass`] — Vector Addition Systems with States
+//! - [`has_core`] — the verifier (the paper's primary contribution)
+//! - [`has_sim`] — concrete operational semantics and runtime monitoring
+//! - [`has_workloads`] — example systems and parametric generators
+
+pub use has_arith as arith;
+pub use has_core as verifier;
+pub use has_data as data;
+pub use has_ltl as ltl;
+pub use has_model as model;
+pub use has_sim as sim;
+pub use has_symbolic as symbolic;
+pub use has_vass as vass;
+pub use has_workloads as workloads;

@@ -1,0 +1,91 @@
+//! Cross-crate integration tests: the symbolic verifier against the concrete
+//! simulator, on the packaged workloads.
+//!
+//! The simulator is an under-approximation (one database, one finite random
+//! execution), so the checkable relationship is one-sided: if the verifier
+//! says a property *holds*, no simulated execution may violate it.
+
+use has::data::{DatabaseGenerator, GeneratorConfig};
+use has::sim::{monitor_property, ExecutionConfig, Executor};
+use has::verifier::{Verifier, VerifierConfig};
+use has::workloads::orders::{never_enqueue_property, order_fulfilment, ship_after_quote_property};
+
+fn quick_config() -> VerifierConfig {
+    VerifierConfig {
+        max_successors: 48,
+        max_control_states: 3_000,
+        ..VerifierConfig::default()
+    }
+}
+
+#[test]
+fn orders_safety_holds_and_simulation_agrees() {
+    let o = order_fulfilment();
+    let property = ship_after_quote_property(&o);
+    let outcome = Verifier::with_config(&o.system, &property, quick_config()).verify();
+    assert!(outcome.holds, "{outcome}");
+
+    let mut generator = DatabaseGenerator::new(GeneratorConfig::default());
+    let db = generator.generate(&o.system.schema.database);
+    for seed in 0..10 {
+        let mut exec = Executor::new(
+            &o.system,
+            &db,
+            ExecutionConfig {
+                seed,
+                max_steps: 250,
+                ..ExecutionConfig::default()
+            },
+        );
+        let tree = exec.run();
+        assert!(
+            monitor_property(&o.system, &db, &tree, &property),
+            "simulation (seed {seed}) violated a property the verifier proved"
+        );
+    }
+}
+
+#[test]
+fn orders_false_property_is_reported_violated() {
+    let o = order_fulfilment();
+    let property = never_enqueue_property(&o);
+    let outcome = Verifier::with_config(&o.system, &property, quick_config()).verify();
+    assert!(!outcome.holds, "{outcome}");
+    assert!(outcome.violation.is_some());
+    assert!(outcome.stats.control_states > 0);
+}
+
+#[test]
+fn simulated_violations_are_never_missed_by_the_verifier() {
+    // For every packaged false property, find a concrete violation by
+    // simulation (when one exists within the budget) and check the verifier
+    // also reports the property as violated.
+    let o = order_fulfilment();
+    let property = never_enqueue_property(&o);
+    let mut generator = DatabaseGenerator::new(GeneratorConfig::default());
+    let db = generator.generate(&o.system.schema.database);
+    let mut found_concrete_violation = false;
+    for seed in 0..10 {
+        let mut exec = Executor::new(
+            &o.system,
+            &db,
+            ExecutionConfig {
+                seed,
+                max_steps: 250,
+                ..ExecutionConfig::default()
+            },
+        );
+        let tree = exec.run();
+        if !monitor_property(&o.system, &db, &tree, &property) {
+            found_concrete_violation = true;
+            break;
+        }
+    }
+    if found_concrete_violation {
+        let outcome = Verifier::with_config(&o.system, &property, quick_config()).verify();
+        assert!(
+            !outcome.holds,
+            "a concrete counterexample exists but the verifier reported `holds`"
+        );
+    }
+}
