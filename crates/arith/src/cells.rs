@@ -56,15 +56,15 @@ impl Sign {
 
     /// Whether a relational operator is satisfied by values of this sign.
     pub fn satisfies(self, op: RelOp) -> bool {
-        match (op, self) {
-            (RelOp::Lt, Sign::Neg) => true,
-            (RelOp::Le, Sign::Neg | Sign::Zero) => true,
-            (RelOp::Eq, Sign::Zero) => true,
-            (RelOp::Ne, Sign::Neg | Sign::Pos) => true,
-            (RelOp::Gt, Sign::Pos) => true,
-            (RelOp::Ge, Sign::Pos | Sign::Zero) => true,
-            _ => false,
-        }
+        matches!(
+            (op, self),
+            (RelOp::Lt, Sign::Neg)
+                | (RelOp::Le, Sign::Neg | Sign::Zero)
+                | (RelOp::Eq, Sign::Zero)
+                | (RelOp::Ne, Sign::Neg | Sign::Pos)
+                | (RelOp::Gt, Sign::Pos)
+                | (RelOp::Ge, Sign::Pos | Sign::Zero)
+        )
     }
 }
 

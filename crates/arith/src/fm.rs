@@ -24,6 +24,10 @@ use std::hash::Hash;
 /// A conjunction of linear constraints, the unit on which elimination works.
 pub type System<V> = Vec<LinearConstraint<V>>;
 
+/// Variable bindings accumulated while eliminating equalities: each entry
+/// maps a variable to the expression substituted for it.
+type Bindings<V> = Vec<(V, LinExpr<V>)>;
+
 /// Splits away disequalities: each `e ≠ 0` becomes a case split into
 /// `e < 0` and `e > 0`. Returns the list of case systems (exponential in the
 /// number of disequalities, which are rare in practice and bounded by the
@@ -59,8 +63,8 @@ fn split_disequalities<V: Ord + Clone>(system: &[LinearConstraint<V>]) -> Vec<Sy
 /// other constraint. Returns `None` if a constant contradiction is found.
 fn eliminate_equalities<V: Ord + Clone + Hash>(
     mut system: System<V>,
-) -> Option<(System<V>, Vec<(V, LinExpr<V>)>)> {
-    let mut bindings: Vec<(V, LinExpr<V>)> = Vec::new();
+) -> Option<(System<V>, Bindings<V>)> {
+    let mut bindings: Bindings<V> = Vec::new();
     loop {
         // Find an equality with at least one variable.
         let idx = system
@@ -346,10 +350,7 @@ pub fn eliminate_variable<V: Ord + Clone + Hash>(
             fm.extend(without_x);
             fm
         };
-        match simplify(projected) {
-            Some(s) => out.push(s),
-            None => {}
-        }
+        if let Some(s) = simplify(projected) { out.push(s) }
     }
     if out.is_empty() {
         // All cases contradictory: represent "false" as a single impossible

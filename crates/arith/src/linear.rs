@@ -139,7 +139,7 @@ impl<V: Ord + Clone> LinExpr<V> {
             return;
         }
         let entry = self.coeffs.entry(v).or_insert(Rational::ZERO);
-        *entry = *entry + c;
+        *entry += c;
         if entry.is_zero() {
             // Re-borrow immutably to find the key to remove; avoid clone of V
             // by collecting zero-coefficient keys lazily (only one possible).
@@ -156,7 +156,7 @@ impl<V: Ord + Clone> LinExpr<V> {
 
     /// Adds a constant to the expression in place.
     pub fn add_constant(&mut self, c: Rational) {
-        self.constant = self.constant + c;
+        self.constant += c;
     }
 
     /// The constant term.
@@ -214,7 +214,7 @@ impl<V: Ord + Clone> LinExpr<V> {
     {
         let mut acc = self.constant;
         for (v, c) in &self.coeffs {
-            acc = acc + *c * valuation(v)?;
+            acc += *c * valuation(v)?;
         }
         Some(acc)
     }
@@ -268,13 +268,15 @@ impl<V: Ord + Clone> Add for LinExpr<V> {
         for (v, c) in rhs.coeffs {
             out.add_term(c, v);
         }
-        out.constant = out.constant + rhs.constant;
+        out.constant += rhs.constant;
         out
     }
 }
 
 impl<V: Ord + Clone> Sub for LinExpr<V> {
     type Output = LinExpr<V>;
+    // Subtraction genuinely is addition of the negation here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: LinExpr<V>) -> LinExpr<V> {
         self + rhs.neg()
     }

@@ -603,9 +603,11 @@ impl<'a> TaskVerifier<'a> {
     pub fn explore(&self) -> (Vec<RtEntry>, Stats) {
         let schema = self.schema();
         let t = schema.task(self.task);
-        let mut stats = Stats::default();
-        stats.task_assignments = 1;
-        stats.buchi_states = self.buchi.state_count();
+        let mut stats = Stats {
+            task_assignments: 1,
+            buchi_states: self.buchi.state_count(),
+            ..Stats::default()
+        };
 
         let inputs = self.enumerate_inputs();
         let mut states: Vec<CState> = Vec::new();

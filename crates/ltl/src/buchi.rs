@@ -51,7 +51,7 @@ impl<P: Ord> Label<P> {
     where
         F: FnMut(&P) -> bool,
     {
-        self.pos.iter().all(|p| assignment(p)) && self.neg.iter().all(|p| !assignment(p))
+        self.pos.iter().all(&mut assignment) && self.neg.iter().all(|p| !assignment(p))
     }
 
     /// Returns `true` if the label is internally contradictory (requires some
@@ -100,6 +100,9 @@ const INIT: usize = usize::MAX;
 
 impl<P: Clone + Eq + Hash + Ord> Buchi<P> {
     /// Builds the Büchi automaton of an LTL formula.
+    // The degeneralization loop reads `fair_sets[counter]` while computing
+    // the successor counter; indexing is the clearer form.
+    #[allow(clippy::needless_range_loop)]
     pub fn from_ltl(formula: &Ltl<P>) -> Self {
         let nnf = formula.nnf();
         let mut nodes: Vec<Node<P>> = Vec::new();

@@ -51,6 +51,9 @@ impl<P: Clone + Eq + Hash + Ord> Ltl<P> {
     }
 
     /// Negation.
+    // Kept as an inherent method (not `std::ops::Not`): the whole combinator
+    // API is method-chained (`f.not().until(g)`), and `!f` would read wrong.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         match self {
             Ltl::True => Ltl::False,
@@ -248,6 +251,9 @@ impl<P: Clone + Eq + Hash + Ord> Ltl<P> {
     /// `holds(position, prop)` is consulted only for positions `< len`.
     /// Until/Release are computed by fixpoint iteration over the `len`
     /// distinct positions of the lasso.
+    // The `sat` truth table is double-indexed (row i written from rows
+    // ia/ib at shifted positions), which iterators cannot express cleanly.
+    #[allow(clippy::needless_range_loop)]
     pub fn eval_lasso<F>(&self, len: usize, loop_start: usize, holds: &F) -> bool
     where
         F: Fn(usize, &P) -> bool,

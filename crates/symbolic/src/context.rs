@@ -142,7 +142,7 @@ impl TaskContext {
                         for term in [a, b] {
                             if let Term::Const(c) = term {
                                 if !c.is_zero() {
-                                    constants.insert(c.clone());
+                                    constants.insert(c);
                                 }
                             }
                         }

@@ -184,6 +184,9 @@ impl SymState {
     /// that violate sort discipline or identify distinct constants.
     ///
     /// Returns `Err(())` if the merge is inconsistent.
+    // `Err(())` carries no diagnosis on purpose: callers only branch on
+    // consistency, and the hot path discards the reason.
+    #[allow(clippy::result_unit_err)]
     pub fn union(&mut self, ctx: &TaskContext, a: usize, b: usize) -> Result<(), ()> {
         let mut pending = vec![(a, b)];
         while let Some((x, y)) = pending.pop() {
@@ -493,11 +496,10 @@ impl SymState {
         let mut out: Vec<usize> = vec![ctx.null_idx, ctx.zero_idx];
         for (i, e) in ctx.exprs.iter().enumerate() {
             match e {
-                Expr::Var(v) | Expr::Nav { var: v, .. } => {
-                    if vars.contains(v) {
+                Expr::Var(v) | Expr::Nav { var: v, .. }
+                    if vars.contains(v) => {
                         out.push(i);
                     }
-                }
                 Expr::Const(_) => out.push(i),
                 _ => {}
             }

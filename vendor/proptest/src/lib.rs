@@ -1,0 +1,128 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small property-testing engine with the proptest API surface its test
+//! suites use: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`, range and
+//! tuple strategies, [`strategy::Just`], [`collection::vec`],
+//! [`arbitrary::any`], `prop_oneof!`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * **no shrinking** — a failing case panics with the formatted assertion
+//!   message (every property in this workspace attaches its inputs to the
+//!   message where they matter);
+//! * **deterministic seeding** — each test derives its RNG seed from the
+//!   test name, so CI failures reproduce locally without a seed file;
+//! * failures surface as ordinary panics rather than `TestCaseError`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod config;
+pub mod strategy;
+
+/// The RNG threaded through strategy sampling.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// Namespace alias so `prop::collection::vec(..)` works as upstream.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Builds the per-case RNG (kept here so test crates need no direct
+/// dependency on the `rand` facade).
+#[doc(hidden)]
+pub fn __seed_rng(seed: u64) -> TestRng {
+    <TestRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// FNV-1a over the test name: a stable per-test base seed.
+#[doc(hidden)]
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+///
+/// Accepts an optional leading `#![proptest_config(expr)]` and any number of
+/// test functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::config::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let base = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::__seed_rng(
+                    base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&{ $strat }, &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *subset* of the rand 0.9 API its sources
+//! actually use: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::random_range`] / [`Rng::random_bool`], and
+//! [`seq::IndexedRandom::choose`]. The generator is xoshiro256** seeded via
+//! SplitMix64 — high-quality and deterministic per seed, which is all the
+//! simulator and the test suites require. Swap this out for the real crate
+//! by pointing the workspace dependency back at the registry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from `self`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler over half-open and closed intervals.
+///
+/// Keyed on the value type (as in upstream rand) so that integer-literal
+/// ranges unify with the expected output type during inference.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` if `inclusive` is false, `[lo, hi]`
+    /// otherwise.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                (lo as i128 + uniform_u128(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool)
+        -> Self {
+        lo + (hi - lo) * unit_f64(rng)
+    }
+}
+
+/// Uniform draw from `[0, span)`. All supported value types are at most 64
+/// bits wide, so `span` is at most 2^64 and one RNG word suffices.
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0 && span <= (u64::MAX as u128) + 1);
+    if span > u64::MAX as u128 {
+        // Full 64-bit span: every word is already uniform.
+        return rng.next_u64() as u128;
+    }
+    uniform_u64(rng, span as u64) as u128
+}
+
+/// Lemire's widening-multiply method: unbiased, one word per draw in the
+/// common case.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut m = (rng.next_u64() as u128) * (span as u128);
+    let mut low = m as u64;
+    if low < span {
+        // Rejection threshold 2^64 mod span, computed without u128 division.
+        let threshold = span.wrapping_neg() % span;
+        while low < threshold {
+            m = (rng.next_u64() as u128) * (span as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// A float uniform in `[0, 1)` from the top 53 bits of one word.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws one value uniformly from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

@@ -1,0 +1,25 @@
+//! Sequence-related sampling helpers.
+
+use crate::{Rng, RngCore};
+
+/// Uniform selection from indexable sequences.
+pub trait IndexedRandom {
+    /// The element type.
+    type Output;
+
+    /// Returns a uniformly chosen element, or `None` if the sequence is
+    /// empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Output = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
