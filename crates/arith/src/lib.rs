@@ -14,6 +14,10 @@
 //! * [`fm`] — Fourier–Motzkin elimination: satisfiability over ℚ and
 //!   existential projection (the quantifier-elimination step the paper obtains
 //!   from Tarski–Seidenberg in the polynomial case).
+//! * [`lp`] — exact simplex over the rationals: feasibility and optimization
+//!   for programs over non-negative variables, sized for the hundreds of
+//!   variables that circulation problems on coverability graphs produce
+//!   (where Fourier–Motzkin elimination would blow up).
 //! * [`cells`] — sign conditions, non-empty cell enumeration, refinement and
 //!   projection of cells.
 //! * [`hcd`] — the Hierarchical Cell Decomposition of Section 5 / Appendix D,
@@ -26,10 +30,12 @@ pub mod cells;
 pub mod fm;
 pub mod hcd;
 pub mod linear;
+pub mod lp;
 pub mod rational;
 
 pub use cells::{Cell, CellId, CellSet, Sign, SignCondition};
 pub use fm::{eliminate_variable, is_satisfiable, project_onto};
 pub use hcd::{HcdBuilder, HierarchicalCellDecomposition, TaskCells};
 pub use linear::{LinExpr, LinearConstraint, RelOp};
+pub use lp::{LpCmp, LpOutcome, LpProblem};
 pub use rational::Rational;

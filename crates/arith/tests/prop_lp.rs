@@ -1,0 +1,88 @@
+//! Property-based cross-validation of the exact simplex against
+//! Fourier–Motzkin elimination: both decide feasibility over ℚ, so on any
+//! random system of non-strict constraints (with non-negativity made explicit
+//! for the FM side) their answers must coincide, and any point the simplex
+//! returns must satisfy every constraint.
+
+use has_arith::{is_satisfiable, LinExpr, LinearConstraint, LpCmp, LpProblem, Rational, RelOp};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Row {
+    coeffs: Vec<i64>,
+    cmp: LpCmp,
+    rhs: i64,
+}
+
+fn arb_row(vars: usize) -> impl Strategy<Value = Row> {
+    (
+        proptest::collection::vec(-3i64..=3, vars),
+        prop_oneof![Just(LpCmp::Le), Just(LpCmp::Eq), Just(LpCmp::Ge)],
+        -4i64..=4,
+    )
+        .prop_map(|(coeffs, cmp, rhs)| Row { coeffs, cmp, rhs })
+}
+
+fn to_lp(vars: usize, rows: &[Row]) -> LpProblem {
+    let mut lp = LpProblem::new(vars);
+    for row in rows {
+        let coeffs: Vec<(usize, Rational)> = row
+            .coeffs
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| (j, Rational::from_int(c)))
+            .collect();
+        lp.add_constraint(&coeffs, row.cmp, Rational::from_int(row.rhs));
+    }
+    lp
+}
+
+/// The same system as a Fourier–Motzkin input, with the LP's implicit
+/// `x_j ≥ 0` bounds added explicitly.
+fn to_fm(vars: usize, rows: &[Row]) -> Vec<LinearConstraint<usize>> {
+    let mut system = Vec::new();
+    for row in rows {
+        let mut expr = LinExpr::constant(Rational::from_int(-row.rhs));
+        for (j, &c) in row.coeffs.iter().enumerate() {
+            expr.add_term(Rational::from_int(c), j);
+        }
+        let op = match row.cmp {
+            LpCmp::Le => RelOp::Le,
+            LpCmp::Eq => RelOp::Eq,
+            LpCmp::Ge => RelOp::Ge,
+        };
+        system.push(LinearConstraint::new(expr, op));
+    }
+    for j in 0..vars {
+        system.push(LinearConstraint::new(LinExpr::var(j), RelOp::Ge));
+    }
+    system
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn simplex_agrees_with_fourier_motzkin(rows in proptest::collection::vec(arb_row(3), 1..6)) {
+        let lp = to_lp(3, &rows);
+        let fm = to_fm(3, &rows);
+        prop_assert_eq!(lp.is_feasible(), is_satisfiable(&fm));
+    }
+
+    #[test]
+    fn simplex_points_satisfy_every_constraint(rows in proptest::collection::vec(arb_row(3), 1..6)) {
+        let lp = to_lp(3, &rows);
+        if let Some(point) = lp.feasible_point() {
+            for v in &point {
+                prop_assert!(!v.is_negative(), "negative coordinate in {point:?}");
+            }
+            for c in to_fm(3, &rows) {
+                prop_assert_eq!(
+                    c.eval(|j| point.get(*j).copied()),
+                    Some(true),
+                    "violated constraint {} at {:?}", c, point
+                );
+            }
+        }
+    }
+}

@@ -32,7 +32,7 @@ fn vass_dimension(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("coverability", d), &vass, |b, v| {
             b.iter(|| {
                 let g = CoverabilityGraph::build(v, 0);
-                (g.node_count(), v.state_repeated_reachable(0, 1, Some(32)))
+                (g.node_count(), v.state_repeated_reachable(0, 1))
             })
         });
     }

@@ -130,7 +130,7 @@ fn exp_vass() {
             "{:<20} {:>12} {:>12}",
             d,
             g.node_count(),
-            v.state_repeated_reachable(0, 0, Some(32))
+            v.state_repeated_reachable(0, 0)
         );
     }
     println!();
@@ -153,25 +153,39 @@ fn exp_cells() {
     println!();
 }
 
+/// The accepted experiment names, in execution order, with their runners.
+const EXPERIMENTS: &[(&str, fn())] = &[
+    ("table1", exp_table1),
+    ("table2", exp_table2),
+    ("travel", exp_travel),
+    ("gadget", exp_gadget),
+    ("vass", exp_vass),
+    ("cells", exp_cells),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let unknown: Vec<&String> = args
+        .iter()
+        .filter(|a| EXPERIMENTS.iter().all(|(name, _)| name != a))
+        .collect();
+    if !unknown.is_empty() {
+        let accepted: Vec<&str> = EXPERIMENTS.iter().map(|(name, _)| *name).collect();
+        eprintln!(
+            "error: unknown experiment name(s): {}",
+            unknown
+                .iter()
+                .map(|a| a.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        eprintln!("accepted names: {}", accepted.join(", "));
+        std::process::exit(2);
+    }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
-    if want("table1") {
-        exp_table1();
-    }
-    if want("table2") {
-        exp_table2();
-    }
-    if want("travel") {
-        exp_travel();
-    }
-    if want("gadget") {
-        exp_gadget();
-    }
-    if want("vass") {
-        exp_vass();
-    }
-    if want("cells") {
-        exp_cells();
+    for (name, run) in EXPERIMENTS {
+        if want(name) {
+            run();
+        }
     }
 }

@@ -903,13 +903,11 @@ impl<'a> TaskVerifier<'a> {
                     break;
                 }
             }
-            // Lasso paths.
+            // Lasso paths — decided exactly; no cycle-length bound applies
+            // (the former `lasso_cycle_bound` config under-approximated this
+            // query and could miss violations).
             if !accepting.is_empty()
-                && graph.nonneg_cycle_through_pred(
-                    &vass,
-                    &|s| accepting.contains(&s),
-                    self.config.lasso_cycle_bound,
-                )
+                && graph.nonneg_cycle_through_pred(&vass, &|s| accepting.contains(&s))
             {
                 push_entry(
                     &mut entries,

@@ -31,9 +31,6 @@ pub struct VerifierConfig {
     /// Cap on the number of property propositions left undetermined by the
     /// abstraction that are branched over per letter.
     pub max_unknown_props: usize,
-    /// Bound on the cycle length searched for lasso detection (`None` = the
-    /// coverability-graph size).
-    pub lasso_cycle_bound: Option<usize>,
     /// Cap on the number of Karp–Miller coverability-graph nodes built per
     /// reachability query (truncation under-approximates the search).
     pub km_node_cap: usize,
@@ -51,7 +48,6 @@ impl Default for VerifierConfig {
             max_control_states: 20_000,
             max_merge_pairs: 6,
             max_unknown_props: 4,
-            lasso_cycle_bound: Some(40),
             km_node_cap: 50_000,
             use_cells: false,
         }

@@ -46,6 +46,7 @@ impl BoundedExplorer {
         vass: &Vass,
         init: usize,
     ) -> BTreeSet<(usize, Vec<u64>)> {
+        let adjacency = vass.adjacency();
         let mut seen = BTreeSet::new();
         let start = (init, vec![0u64; vass.dim]);
         let mut queue = VecDeque::from([start.clone()]);
@@ -54,7 +55,7 @@ impl BoundedExplorer {
             if seen.len() >= self.max_configurations {
                 break;
             }
-            for (_, action) in vass.actions_from(state) {
+            for action in adjacency[state].iter().map(|&i| &vass.actions[i]) {
                 let mut next = counters.clone();
                 let mut ok = true;
                 for (c, d) in next.iter_mut().zip(&action.delta) {
@@ -98,6 +99,7 @@ impl BoundedExplorer {
         let Some(candidates) = by_state.get(&target) else {
             return false;
         };
+        let adjacency = vass.adjacency();
         for base in candidates {
             // Forward search from (target, base), at least one step.
             let mut seen = BTreeSet::new();
@@ -109,7 +111,7 @@ impl BoundedExplorer {
                 if seen.len() >= self.max_configurations {
                     break;
                 }
-                for (_, action) in vass.actions_from(state) {
+                for action in adjacency[state].iter().map(|&i| &vass.actions[i]) {
                     let mut next = counters.clone();
                     let mut ok = true;
                     for (c, d) in next.iter_mut().zip(&action.delta) {

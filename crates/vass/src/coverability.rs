@@ -1,5 +1,6 @@
 //! Karp–Miller coverability graph with ω-acceleration.
 
+use crate::cycle::{self, DeltaEdge};
 use crate::vass::Vass;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -62,21 +63,53 @@ pub struct CoverabilityGraph {
 impl CoverabilityGraph {
     /// Builds the coverability graph of `vass` from `(init, 0̄)`.
     pub fn build(vass: &Vass, init: usize) -> Self {
-        Self::build_capped(vass, init, usize::MAX)
+        Self::build_inner(vass, init, usize::MAX, None)
     }
 
-    /// Like [`CoverabilityGraph::build`], but stops expanding once the graph
-    /// has `max_nodes` nodes. A truncated graph under-approximates
+    /// Like [`CoverabilityGraph::build`], but never creates more than
+    /// `max_nodes` nodes (the cap is enforced at interning time, so the
+    /// documented bound holds exactly — not merely up to the out-degree of
+    /// the node being expanded). A truncated graph under-approximates
     /// reachability (everything it contains is genuinely coverable); callers
     /// that rely on exhaustiveness should pass `usize::MAX`.
     pub fn build_capped(vass: &Vass, init: usize, max_nodes: usize) -> Self {
+        Self::build_inner(vass, init, max_nodes, None)
+    }
+
+    /// Like [`CoverabilityGraph::build`], but stops as soon as a node with
+    /// control state `target` is interned. The resulting graph is partial:
+    /// it is only useful for answering "is `target` coverable?" and for
+    /// extracting a witness path to `target` ([`Self::path_to_state`]) —
+    /// both of which only need the prefix built so far.
+    pub fn build_to_state(vass: &Vass, init: usize, target: usize) -> Self {
+        Self::build_inner(vass, init, usize::MAX, Some(target))
+    }
+
+    fn build_inner(
+        vass: &Vass,
+        init: usize,
+        max_nodes: usize,
+        stop_at: Option<usize>,
+    ) -> Self {
         let mut graph = CoverabilityGraph {
             nodes: Vec::new(),
             edges: Vec::new(),
             index: BTreeMap::new(),
         };
+        if max_nodes == 0 {
+            return graph;
+        }
+        // Per-state adjacency, computed once: expansion below touches only
+        // the actions leaving the popped state instead of scanning the whole
+        // action list per node.
+        let actions_by_state = vass.adjacency();
         let root_marking = vec![0u64; vass.dim];
-        let root = graph.intern(init, root_marking, None, None);
+        let root = graph
+            .intern(init, root_marking, None, None, max_nodes)
+            .expect("the first intern is always under a non-zero cap");
+        if stop_at == Some(init) {
+            return graph;
+        }
         let mut worklist = VecDeque::from([root]);
         let mut expanded = vec![false; 1];
 
@@ -84,15 +117,13 @@ impl CoverabilityGraph {
             if expanded[node_id] {
                 continue;
             }
-            if graph.nodes.len() >= max_nodes {
-                break;
-            }
             expanded[node_id] = true;
             let (state, marking) = {
                 let n = &graph.nodes[node_id];
                 (n.state, n.marking.clone())
             };
-            for (action_idx, action) in vass.actions_from(state) {
+            for &action_idx in &actions_by_state[state] {
+                let action = &vass.actions[action_idx];
                 let Some(mut next) = add(&marking, &action.delta) else {
                     continue;
                 };
@@ -103,8 +134,7 @@ impl CoverabilityGraph {
                 while let Some(a) = ancestor {
                     let anc = &graph.nodes[a];
                     if anc.state == action.to && leq(&anc.marking, &next) && anc.marking != next {
-                        for (i, (av, nv)) in anc.marking.iter().zip(next.iter_mut()).enumerate() {
-                            let _ = i;
+                        for (av, nv) in anc.marking.iter().zip(next.iter_mut()) {
                             if *av < *nv {
                                 *nv = OMEGA;
                             }
@@ -113,26 +143,41 @@ impl CoverabilityGraph {
                     ancestor = anc.parent;
                 }
                 let existed = graph.index.contains_key(&(action.to, next.clone()));
-                let target = graph.intern(action.to, next, Some(node_id), Some(action_idx));
+                let Some(target) =
+                    graph.intern(action.to, next, Some(node_id), Some(action_idx), max_nodes)
+                else {
+                    // Interning would exceed the node cap: drop the edge and
+                    // keep expanding among the existing nodes.
+                    continue;
+                };
                 graph.edges.push((node_id, action_idx, target));
                 if !existed {
                     expanded.push(false);
                     worklist.push_back(target);
+                    if stop_at == Some(action.to) {
+                        return graph;
+                    }
                 }
             }
         }
         graph
     }
 
+    /// Returns the canonical node for `(state, marking)`, creating it unless
+    /// that would push the node count beyond `max_nodes`.
     fn intern(
         &mut self,
         state: usize,
         marking: Marking,
         parent: Option<usize>,
         via_action: Option<usize>,
-    ) -> usize {
+        max_nodes: usize,
+    ) -> Option<usize> {
         if let Some(&id) = self.index.get(&(state, marking.clone())) {
-            return id;
+            return Some(id);
+        }
+        if self.nodes.len() >= max_nodes {
+            return None;
         }
         let id = self.nodes.len();
         self.nodes.push(Node {
@@ -142,7 +187,7 @@ impl CoverabilityGraph {
             via_action,
         });
         self.index.insert((state, marking), id);
-        id
+        Some(id)
     }
 
     /// Iterates over the nodes.
@@ -158,6 +203,11 @@ impl CoverabilityGraph {
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Iterates over the edges as `(from_node, action_index, to_node)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.edges.iter().copied()
     }
 
     /// A sequence of VASS action indices leading from the root to some node
@@ -178,72 +228,36 @@ impl CoverabilityGraph {
         Some(path)
     }
 
-    /// Searches for a cycle through some node with control state `target`
-    /// whose summed action effect is componentwise non-negative — the
-    /// witness for state repeated reachability (Lemma 21's lasso).
+    /// Decides whether a cycle (closed walk) through some node with control
+    /// state `target` has a componentwise non-negative summed action effect —
+    /// the witness for state repeated reachability (Lemma 21's lasso).
     ///
-    /// The DFS bounds cycle length by `max_len` (default: `2 · |nodes|`) and
-    /// prunes paths whose accumulated effect is dominated by an already-seen
-    /// accumulated effect at the same node with no larger depth.
-    pub fn nonneg_cycle_through(
-        &self,
-        vass: &Vass,
-        target: usize,
-        max_len: Option<usize>,
-    ) -> bool {
-        self.nonneg_cycle_through_pred(vass, &|s| s == target, max_len)
+    /// The decision is exact and unbounded: it reduces to circulation
+    /// feasibility per strongly connected component, solved by exact rational
+    /// linear programming with Kosaraju–Sullivan support refinement for
+    /// connectivity (see [`crate::cycle`]). The cycle-length cap of the old
+    /// depth-first search — which silently missed lassos longer than the cap —
+    /// is gone.
+    pub fn nonneg_cycle_through(&self, vass: &Vass, target: usize) -> bool {
+        self.nonneg_cycle_through_pred(vass, &|s| s == target)
     }
 
     /// Like [`CoverabilityGraph::nonneg_cycle_through`], but accepts any
     /// control state satisfying the predicate (used by the verifier, where
     /// "accepting" is a property of the encoded Büchi component).
-    pub fn nonneg_cycle_through_pred(
-        &self,
-        vass: &Vass,
-        target: &dyn Fn(usize) -> bool,
-        max_len: Option<usize>,
-    ) -> bool {
-        let max_len = max_len.unwrap_or(2 * self.nodes.len().max(1));
-        // Outgoing adjacency with action deltas.
-        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.nodes.len()];
-        for &(from, action, to) in &self.edges {
-            adj[from].push((action, to));
-        }
-        for start in 0..self.nodes.len() {
-            if !target(self.nodes[start].state) {
-                continue;
-            }
-            // DFS with accumulated deltas and dominance pruning.
-            let mut seen: Vec<Vec<(Vec<i64>, usize)>> = vec![Vec::new(); self.nodes.len()];
-            let mut stack: Vec<(usize, Vec<i64>, usize)> =
-                vec![(start, vec![0i64; vass.dim], 0usize)];
-            while let Some((node, acc, depth)) = stack.pop() {
-                if depth > 0 && node == start && acc.iter().all(|d| *d >= 0) {
-                    return true;
-                }
-                if depth >= max_len {
-                    continue;
-                }
-                // Dominance pruning.
-                let dominated = seen[node]
-                    .iter()
-                    .any(|(prev, pd)| *pd <= depth && prev.iter().zip(&acc).all(|(p, a)| p >= a));
-                if dominated && depth > 0 {
-                    continue;
-                }
-                seen[node].retain(|(prev, pd)| {
-                    !(depth <= *pd && acc.iter().zip(prev).all(|(a, p)| a >= p))
-                });
-                seen[node].push((acc.clone(), depth));
-                for &(action_idx, next) in &adj[node] {
-                    let delta = &vass.actions[action_idx].delta;
-                    let next_acc: Vec<i64> =
-                        acc.iter().zip(delta).map(|(a, d)| a + d).collect();
-                    stack.push((next, next_acc, depth + 1));
-                }
-            }
-        }
-        false
+    pub fn nonneg_cycle_through_pred(&self, vass: &Vass, target: &dyn Fn(usize) -> bool) -> bool {
+        let edges: Vec<DeltaEdge> = self
+            .edges
+            .iter()
+            .map(|&(from, action, to)| DeltaEdge {
+                from,
+                to,
+                delta: vass.actions[action].delta.clone(),
+            })
+            .collect();
+        cycle::nonneg_cycle_exists(self.nodes.len(), vass.dim, &edges, &|node| {
+            target(self.nodes[node].state)
+        })
     }
 }
 
@@ -301,7 +315,7 @@ mod tests {
         v.add_action(0, vec![1], 0);
         v.add_action(0, vec![-1], 0);
         let g = CoverabilityGraph::build(&v, 0);
-        assert!(g.nonneg_cycle_through(&v, 0, None));
+        assert!(g.nonneg_cycle_through(&v, 0));
 
         // Only a decrementing loop: no non-negative cycle, even though the
         // coverability graph has a cycle at ω.
@@ -310,7 +324,46 @@ mod tests {
         v2.add_action(0, vec![0], 1);
         v2.add_action(1, vec![-1], 1);
         let g2 = CoverabilityGraph::build(&v2, 0);
-        assert!(g2.nonneg_cycle_through(&v2, 0, None));
-        assert!(!g2.nonneg_cycle_through(&v2, 1, None));
+        assert!(g2.nonneg_cycle_through(&v2, 0));
+        assert!(!g2.nonneg_cycle_through(&v2, 1));
+    }
+
+    #[test]
+    fn node_cap_is_enforced_exactly() {
+        // A fan-out of 8 actions from the root: the old pop-time check let
+        // one expansion overshoot the cap by its out-degree; the cap must now
+        // hold exactly for every value.
+        let mut v = Vass::new(9, 1);
+        for to in 1..9 {
+            v.add_action(0, vec![1], to);
+        }
+        for cap in 0..=10usize {
+            let g = CoverabilityGraph::build_capped(&v, 0, cap);
+            assert!(
+                g.node_count() <= cap,
+                "cap {cap} overshot: {} nodes",
+                g.node_count()
+            );
+        }
+        // Uncapped, the graph has the root plus all eight targets.
+        assert_eq!(CoverabilityGraph::build(&v, 0).node_count(), 9);
+    }
+
+    #[test]
+    fn build_to_state_stops_early() {
+        // A chain 0 → 1 → … with a huge branching side-structure after the
+        // target: stopping at state 1 must not explore the rest.
+        let mut v = Vass::new(12, 2);
+        v.add_action(0, vec![1, 0], 1);
+        for s in 1..11 {
+            v.add_action(s, vec![0, 1], s + 1);
+            v.add_action(s, vec![1, 1], s);
+        }
+        let g = CoverabilityGraph::build_to_state(&v, 0, 1);
+        assert!(g.nodes().any(|n| n.state == 1));
+        let full = CoverabilityGraph::build(&v, 0);
+        assert!(g.node_count() < full.node_count());
+        // The partial graph still yields a witness path.
+        assert_eq!(g.path_to_state(1).unwrap().len(), 1);
     }
 }

@@ -1,0 +1,494 @@
+//! Exact detection of componentwise non-negative cycles.
+//!
+//! The repeated-reachability check of Lemma 21 asks whether the coverability
+//! graph contains a closed walk through a target node whose summed action
+//! effect is componentwise non-negative. The previous implementation searched
+//! for such walks by depth-first enumeration with dominance pruning — correct
+//! only up to its configured length cap, and exponential in practice (the
+//! EXP-F3 `d = 5` instance ran for minutes). This module decides the same
+//! question exactly, in polynomial time, via a circulation characterization:
+//!
+//! **Characterization.** A closed walk through a target node with
+//! componentwise non-negative total effect exists iff some edge set `S`
+//! inside a single strongly connected component admits rational edge
+//! multiplicities `x_e > 0` for `e ∈ S` such that
+//!
+//! 1. flow is conserved at every node (`Σ in = Σ out`),
+//! 2. the summed effect `Σ x_e·δ_e` is componentwise `≥ 0`,
+//! 3. some edge leaving a target node carries flow, and
+//! 4. `S` is weakly connected.
+//!
+//! *Soundness:* scale `x` to integers and duplicate each edge `x_e` times;
+//! conservation makes the multigraph balanced, so its weakly connected
+//! support carries an Eulerian circuit — a single closed walk through the
+//! target with effect `Σ x_e·δ_e ≥ 0`. *Completeness:* the edge-usage counts
+//! of a witnessing walk satisfy 1–4, and every edge of a closed walk lies in
+//! one SCC.
+//!
+//! Conditions 1–3 are rational linear feasibility, decided by the exact
+//! simplex of `has_arith::lp`. Condition 4 is restored in the style of
+//! Kosaraju–Sullivan's zero-cycle algorithm: compute the *maximal support*
+//! (the set of edges carrying flow in some feasible circulation — a single
+//! feasible point realizes all of them at once, since the constraints are
+//! closed under addition); if it is weakly connected, accept; otherwise any
+//! connected witness lies entirely inside one weak component, so recurse into
+//! each component containing a target. Each recursion strictly shrinks the
+//! edge set, giving polynomially many LP calls overall.
+
+use has_arith::{LpCmp, LpOutcome, LpProblem, Rational};
+use std::collections::BTreeMap;
+
+/// An edge of a cycle-detection instance: `from → to` with counter effect
+/// `delta`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaEdge {
+    /// Source node.
+    pub from: usize,
+    /// Target node.
+    pub to: usize,
+    /// Counter effect of traversing the edge.
+    pub delta: Vec<i64>,
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative).
+///
+/// Returns one component id per node (components are numbered in reverse
+/// topological order) and the number of components.
+pub fn strongly_connected_components(
+    num_nodes: usize,
+    edges: &[(usize, usize)],
+) -> (Vec<usize>, usize) {
+    const UNSET: usize = usize::MAX;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+    for &(from, to) in edges {
+        adj[from].push(to);
+    }
+    let mut index = vec![UNSET; num_nodes];
+    let mut low = vec![0usize; num_nodes];
+    let mut comp = vec![UNSET; num_nodes];
+    let mut on_stack = vec![false; num_nodes];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comp_count = 0usize;
+
+    for root in 0..num_nodes {
+        if index[root] != UNSET {
+            continue;
+        }
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        call.push((root, 0));
+        while let Some(&(v, child)) = call.last() {
+            if child < adj[v].len() {
+                call.last_mut().expect("non-empty call stack").1 += 1;
+                let w = adj[v][child];
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("SCC stack holds the root");
+                        on_stack[w] = false;
+                        comp[w] = comp_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+            }
+        }
+    }
+    (comp, comp_count)
+}
+
+/// Decides whether the graph contains a closed walk through a node satisfying
+/// `is_target` whose summed `delta` is componentwise non-negative.
+pub fn nonneg_cycle_exists(
+    num_nodes: usize,
+    dim: usize,
+    edges: &[DeltaEdge],
+    is_target: &dyn Fn(usize) -> bool,
+) -> bool {
+    if edges.is_empty() {
+        return false;
+    }
+    let pairs: Vec<(usize, usize)> = edges.iter().map(|e| (e.from, e.to)).collect();
+    let (comp, comp_count) = strongly_connected_components(num_nodes, &pairs);
+    let mut by_comp: Vec<Vec<usize>> = vec![Vec::new(); comp_count];
+    for (i, e) in edges.iter().enumerate() {
+        if comp[e.from] == comp[e.to] {
+            by_comp[comp[e.from]].push(i);
+        }
+    }
+    for es in by_comp {
+        // A witnessing walk leaves its target node at least once, so the
+        // component must contain an edge out of a target.
+        if es.iter().any(|&i| is_target(edges[i].from))
+            && component_admits_lasso(dim, edges, es, is_target)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Kosaraju–Sullivan-style support refinement within one SCC's edge set.
+///
+/// Fast path: *any* feasible circulation whose own support is already weakly
+/// connected is a complete witness (the target-outflow row guarantees it
+/// touches a target), so most queries resolve with a single Phase-I solve.
+/// Only a disconnected support triggers the maximal-support computation and
+/// the per-component recursion.
+fn component_admits_lasso(
+    dim: usize,
+    edges: &[DeltaEdge],
+    initial: Vec<usize>,
+    is_target: &dyn Fn(usize) -> bool,
+) -> bool {
+    let mut work = vec![initial];
+    while let Some(es) = work.pop() {
+        match maximal_support(dim, edges, &es, is_target) {
+            Support::Infeasible => {}
+            Support::ConnectedWitness => return true,
+            Support::Disconnected(support) => {
+                // A connected witness has connected support inside the
+                // maximal support, hence inside exactly one of its weak
+                // components.
+                for c in weak_components(edges, &support) {
+                    if c.iter().any(|&i| is_target(edges[i].from)) {
+                        work.push(c);
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+enum Support {
+    /// No circulation through a target exists over this edge set.
+    Infeasible,
+    /// Some circulation has weakly connected support: a witness exists.
+    ConnectedWitness,
+    /// The maximal support (every edge positive in some circulation); its
+    /// weak components are more than one.
+    Disconnected(Vec<usize>),
+}
+
+/// Computes the support structure of the circulations over `es`.
+///
+/// The maximal support is found by repeatedly maximizing the total flow on
+/// the edges not yet known to be supportable: an optimum of zero proves the
+/// remainder is zero in *every* solution (all variables are non-negative),
+/// while any positive or unbounded outcome enlarges the known support. The
+/// constraint set is closed under addition and upward scaling, so the union
+/// of the supports seen along the way is realized by a single feasible
+/// point — and every intermediate point is itself a circulation, so a
+/// connected intermediate support short-circuits the computation.
+fn maximal_support(
+    dim: usize,
+    edges: &[DeltaEdge],
+    es: &[usize],
+    is_target: &dyn Fn(usize) -> bool,
+) -> Support {
+    let Some(lp) = circulation_lp(dim, edges, es, is_target) else {
+        return Support::Infeasible;
+    };
+    let Some(first) = lp.feasible_point() else {
+        return Support::Infeasible;
+    };
+    let mut supported = vec![false; es.len()];
+    let absorb = |supported: &mut Vec<bool>, point: &[Rational]| -> bool {
+        let mut own_support = Vec::new();
+        for (p, v) in point.iter().enumerate() {
+            if v.is_positive() {
+                supported[p] = true;
+                own_support.push(es[p]);
+            }
+        }
+        weak_components(edges, &own_support).len() == 1
+    };
+    if absorb(&mut supported, &first) {
+        return Support::ConnectedWitness;
+    }
+    loop {
+        let objective: Vec<(usize, Rational)> = (0..es.len())
+            .filter(|&p| !supported[p])
+            .map(|p| (p, Rational::ONE))
+            .collect();
+        if objective.is_empty() {
+            break;
+        }
+        let point = match lp.maximize(&objective) {
+            LpOutcome::Infeasible => unreachable!("a feasible point was already found"),
+            LpOutcome::Optimal { value, point } => {
+                if value.is_zero() {
+                    // Every remaining edge is zero in every circulation.
+                    break;
+                }
+                point
+            }
+            LpOutcome::Unbounded { point } => point,
+        };
+        if absorb(&mut supported, &point) {
+            return Support::ConnectedWitness;
+        }
+    }
+    let support: Vec<usize> = es
+        .iter()
+        .enumerate()
+        .filter(|(p, _)| supported[*p])
+        .map(|(_, &i)| i)
+        .collect();
+    if weak_components(edges, &support).len() == 1 {
+        // The sum of the points seen along the way realizes the whole
+        // maximal support at once.
+        return Support::ConnectedWitness;
+    }
+    Support::Disconnected(support)
+}
+
+/// Builds the circulation feasibility program over the edge subset `es`:
+/// one non-negative multiplicity per edge, conservation at every incident
+/// node, componentwise non-negative summed effect, and at least one unit of
+/// flow out of the target nodes. Returns `None` if no edge leaves a target
+/// (the program would be trivially infeasible).
+fn circulation_lp(
+    dim: usize,
+    edges: &[DeltaEdge],
+    es: &[usize],
+    is_target: &dyn Fn(usize) -> bool,
+) -> Option<LpProblem> {
+    let mut lp = LpProblem::new(es.len());
+    // Conservation: per incident node, Σ incoming − Σ outgoing = 0.
+    let mut balance: BTreeMap<usize, Vec<(usize, Rational)>> = BTreeMap::new();
+    for (pos, &i) in es.iter().enumerate() {
+        let e = &edges[i];
+        balance
+            .entry(e.to)
+            .or_default()
+            .push((pos, Rational::ONE));
+        balance
+            .entry(e.from)
+            .or_default()
+            .push((pos, -Rational::ONE));
+    }
+    for coeffs in balance.values() {
+        lp.add_constraint(coeffs, LpCmp::Eq, Rational::ZERO);
+    }
+    // Componentwise non-negative summed effect. Coordinates no edge touches
+    // contribute no constraint.
+    for c in 0..dim {
+        let coeffs: Vec<(usize, Rational)> = es
+            .iter()
+            .enumerate()
+            .filter(|(_, &i)| edges[i].delta[c] != 0)
+            .map(|(pos, &i)| (pos, Rational::from_int(edges[i].delta[c])))
+            .collect();
+        if !coeffs.is_empty() {
+            lp.add_constraint(&coeffs, LpCmp::Ge, Rational::ZERO);
+        }
+    }
+    // Positive flow through a target node.
+    let outflow: Vec<(usize, Rational)> = es
+        .iter()
+        .enumerate()
+        .filter(|(_, &i)| is_target(edges[i].from))
+        .map(|(pos, _)| (pos, Rational::ONE))
+        .collect();
+    if outflow.is_empty() {
+        return None;
+    }
+    lp.add_constraint(&outflow, LpCmp::Ge, Rational::ONE);
+    Some(lp)
+}
+
+/// Weak connected components of the subgraph spanned by `support`, returned
+/// as groups of edge indices.
+fn weak_components(edges: &[DeltaEdge], support: &[usize]) -> Vec<Vec<usize>> {
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    // Iterative two-pass find with path compression: supports can be as
+    // large as an SCC's whole edge set, so recursion depth must not scale
+    // with the parent-chain length.
+    fn find(parent: &mut BTreeMap<usize, usize>, v: usize) -> usize {
+        let mut root = v;
+        loop {
+            let p = *parent.entry(root).or_insert(root);
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        let mut cur = v;
+        while cur != root {
+            let next = parent[&cur];
+            parent.insert(cur, root);
+            cur = next;
+        }
+        root
+    }
+    for &i in support {
+        let a = find(&mut parent, edges[i].from);
+        let b = find(&mut parent, edges[i].to);
+        if a != b {
+            parent.insert(a, b);
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &i in support {
+        let root = find(&mut parent, edges[i].from);
+        groups.entry(root).or_default().push(i);
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(from: usize, to: usize, delta: &[i64]) -> DeltaEdge {
+        DeltaEdge {
+            from,
+            to,
+            delta: delta.to_vec(),
+        }
+    }
+
+    #[test]
+    fn sccs_of_a_cycle_and_a_tail() {
+        // 0 → 1 → 2 → 0 is one SCC; 2 → 3 is a tail.
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 3)];
+        let (comp, count) = strongly_connected_components(4, &edges);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[2], comp[3]);
+    }
+
+    #[test]
+    fn sccs_of_disjoint_self_loops() {
+        let edges = [(0, 0), (2, 2)];
+        let (comp, count) = strongly_connected_components(3, &edges);
+        assert_eq!(count, 3);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[1]);
+    }
+
+    #[test]
+    fn positive_self_loop_is_a_lasso() {
+        let edges = [edge(0, 0, &[1])];
+        assert!(nonneg_cycle_exists(1, 1, &edges, &|n| n == 0));
+    }
+
+    #[test]
+    fn negative_self_loop_is_not() {
+        let edges = [edge(0, 0, &[-1])];
+        assert!(!nonneg_cycle_exists(1, 1, &edges, &|n| n == 0));
+    }
+
+    #[test]
+    fn mixed_self_loops_balance_out() {
+        let edges = [edge(0, 0, &[-1]), edge(0, 0, &[1])];
+        assert!(nonneg_cycle_exists(1, 1, &edges, &|n| n == 0));
+    }
+
+    #[test]
+    fn balanced_two_cycle() {
+        let edges = [edge(0, 1, &[1]), edge(1, 0, &[-1])];
+        assert!(nonneg_cycle_exists(2, 1, &edges, &|n| n == 0));
+        assert!(nonneg_cycle_exists(2, 1, &edges, &|n| n == 1));
+    }
+
+    #[test]
+    fn target_outside_every_cycle() {
+        // 0 → 1 with a positive loop at 1: no cycle through 0.
+        let edges = [edge(0, 1, &[0]), edge(1, 1, &[1])];
+        assert!(!nonneg_cycle_exists(2, 1, &edges, &|n| n == 0));
+        assert!(nonneg_cycle_exists(2, 1, &edges, &|n| n == 1));
+    }
+
+    #[test]
+    fn remote_gains_are_reachable_when_the_bridge_is_free() {
+        // Target 0 has a draining loop; node 1 has a pumping loop; the
+        // bridges cost nothing. A walk 0 → 1, pump, 1 → 0 nets +2.
+        let edges = [
+            edge(0, 0, &[-1]),
+            edge(1, 1, &[2]),
+            edge(0, 1, &[0]),
+            edge(1, 0, &[0]),
+        ];
+        assert!(nonneg_cycle_exists(2, 1, &edges, &|n| n == 0));
+    }
+
+    #[test]
+    fn support_refinement_rejects_disconnected_compensation() {
+        // As above, but crossing the bridge burns a second counter that
+        // nothing replenishes: the pumping loop at node 1 can compensate the
+        // drain at node 0 only in a *disconnected* circulation, which is not
+        // a walk. The naive LP (without connectivity refinement) is feasible
+        // here; the refinement must reject it.
+        let edges = [
+            edge(0, 0, &[-1, 0]),
+            edge(1, 1, &[2, 0]),
+            edge(0, 1, &[0, -1]),
+            edge(1, 0, &[0, 0]),
+        ];
+        assert!(!nonneg_cycle_exists(2, 2, &edges, &|n| n == 0));
+        // Node 1's own loop is still a perfectly good lasso through 1.
+        assert!(nonneg_cycle_exists(2, 2, &edges, &|n| n == 1));
+    }
+
+    #[test]
+    fn long_cycles_are_found_without_any_length_cap() {
+        // A 100-node ring with zero deltas: the only cycle has length 100,
+        // far beyond the old default caps.
+        let n = 100;
+        let edges: Vec<DeltaEdge> = (0..n).map(|i| edge(i, (i + 1) % n, &[0])).collect();
+        assert!(nonneg_cycle_exists(n, 1, &edges, &|s| s == 0));
+    }
+
+    #[test]
+    fn amortized_pumping_across_the_cycle() {
+        // Cycle 0 → 1 → 0 where one leg pays 3 and the other gains only 1,
+        // but a +1 self-loop at node 1 can run as often as needed: the walk
+        // 0 → 1, loop ×2, 1 → 0 is non-negative.
+        let edges = [
+            edge(0, 1, &[-3]),
+            edge(1, 0, &[1]),
+            edge(1, 1, &[1]),
+        ];
+        assert!(nonneg_cycle_exists(2, 1, &edges, &|n| n == 0));
+    }
+
+    #[test]
+    fn zero_dimension_reduces_to_cycle_existence() {
+        let edges = [edge(0, 1, &[]), edge(1, 0, &[])];
+        assert!(nonneg_cycle_exists(2, 0, &edges, &|n| n == 0));
+        let dag = [edge(0, 1, &[])];
+        assert!(!nonneg_cycle_exists(2, 0, &dag, &|n| n == 0));
+    }
+
+    #[test]
+    fn predicate_targets_accept_any_matching_node() {
+        let edges = [edge(0, 1, &[1]), edge(1, 0, &[-1]), edge(2, 2, &[-1])];
+        assert!(nonneg_cycle_exists(3, 1, &edges, &|n| n >= 1));
+        assert!(!nonneg_cycle_exists(3, 1, &edges, &|n| n == 2));
+    }
+}

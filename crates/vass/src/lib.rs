@@ -21,19 +21,22 @@
 //!
 //! The paper cites the Rackoff/Habermehl EXPSPACE bounds for these problems;
 //! Karp–Miller is the standard practical algorithm deciding the same queries
-//! (see DESIGN.md §5.2 for the substitution note). Lasso detection searches
-//! the coverability graph for a cycle through the target state whose summed
-//! action effect is componentwise non-negative, with dominance pruning; the
-//! search depth is bounded (configurable) and the default bound is generous
-//! relative to the graphs the verifier produces.
+//! (see DESIGN.md §5.2 for the substitution note). Lasso detection asks for a
+//! cycle through the target state whose summed action effect is componentwise
+//! non-negative; the [`cycle`] module decides this exactly — no cycle-length
+//! bound — by circulation feasibility per strongly connected component,
+//! solved with the exact rational simplex of `has-arith` and
+//! Kosaraju–Sullivan support refinement for connectivity.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bounded;
 pub mod coverability;
+pub mod cycle;
 pub mod vass;
 
 pub use bounded::BoundedExplorer;
 pub use coverability::{CoverabilityGraph, Marking, OMEGA};
+pub use cycle::{nonneg_cycle_exists, strongly_connected_components, DeltaEdge};
 pub use vass::{Action, Vass};

@@ -48,6 +48,10 @@ impl Vass {
     }
 
     /// Actions leaving a control state.
+    ///
+    /// This scans the whole action list; callers that repeatedly expand
+    /// states (graph construction, explicit exploration) should precompute
+    /// [`Vass::adjacency`] once instead.
     pub fn actions_from(&self, state: usize) -> impl Iterator<Item = (usize, &Action)> {
         self.actions
             .iter()
@@ -55,13 +59,28 @@ impl Vass {
             .filter(move |(_, a)| a.from == state)
     }
 
+    /// Per-state adjacency: `adjacency()[s]` lists the indices of the actions
+    /// leaving state `s`, in insertion order. One O(|actions|) pass replaces
+    /// the per-expansion scans of [`Vass::actions_from`].
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.states];
+        for (i, a) in self.actions.iter().enumerate() {
+            adj[a.from].push(i);
+        }
+        adj
+    }
+
     /// Decides control-state reachability from `(init, 0̄)`: is there a run
     /// reaching some configuration with control state `target`?
+    ///
+    /// The coverability-graph construction stops as soon as the target is
+    /// discovered ([`CoverabilityGraph::build_to_state`]) rather than
+    /// building the whole graph.
     pub fn state_reachable(&self, init: usize, target: usize) -> bool {
         if init == target {
             return true;
         }
-        let graph = CoverabilityGraph::build(self, init);
+        let graph = CoverabilityGraph::build_to_state(self, init, target);
         let reachable = graph.nodes().any(|n| n.state == target);
         reachable
     }
@@ -71,7 +90,7 @@ impl Vass {
     /// ω-accelerated coordinates, a concrete run may need to repeat pumping
     /// loops; the control-state projection is nevertheless realizable).
     pub fn state_reachable_witness(&self, init: usize, target: usize) -> Option<Vec<usize>> {
-        let graph = CoverabilityGraph::build(self, init);
+        let graph = CoverabilityGraph::build_to_state(self, init, target);
         graph.path_to_state(target)
     }
 
@@ -79,19 +98,15 @@ impl Vass {
     /// `(init, 0̄) →* (target, v̄) →⁺ (target, v̄')` with `v̄ ≤ v̄'`
     /// componentwise? (Lemma 21's lasso condition.)
     ///
-    /// The search looks for a cycle through a coverability-graph node with
-    /// control state `target` whose summed action delta is componentwise
-    /// non-negative. `max_cycle_len` bounds the searched cycle length; `None`
-    /// uses twice the number of graph nodes, which is exhaustive for the
-    /// graphs produced by the verifier benchmarks.
-    pub fn state_repeated_reachable(
-        &self,
-        init: usize,
-        target: usize,
-        max_cycle_len: Option<usize>,
-    ) -> bool {
+    /// The decision is exact: it looks for a cycle through a
+    /// coverability-graph node with control state `target` whose summed
+    /// action delta is componentwise non-negative, decided by circulation
+    /// feasibility per strongly connected component (see [`crate::cycle`]).
+    /// The `max_cycle_len` parameter of earlier versions is gone — the old
+    /// bounded search silently missed lassos longer than its cap.
+    pub fn state_repeated_reachable(&self, init: usize, target: usize) -> bool {
         let graph = CoverabilityGraph::build(self, init);
-        graph.nonneg_cycle_through(self, target, max_cycle_len)
+        graph.nonneg_cycle_through(self, target)
     }
 
     /// Number of actions.
@@ -149,14 +164,14 @@ mod tests {
     fn repeated_reachability_of_pumping_state() {
         let v = producer_consumer();
         // State 0 loops with +1: repeatedly reachable.
-        assert!(v.state_repeated_reachable(0, 0, None));
+        assert!(v.state_repeated_reachable(0, 0));
         // State 1 loops with -1 only: a cycle exists in the coverability
         // graph (counter is ω) but its effect is negative, so it is *not*
         // repeatedly reachable... unless the counter can be pumped before
         // each visit — which it cannot once in state 1. Expect false.
-        assert!(!v.state_repeated_reachable(1, 1, None));
+        assert!(!v.state_repeated_reachable(1, 1));
         // State 2 has no outgoing actions: not repeatedly reachable.
-        assert!(!v.state_repeated_reachable(0, 2, None));
+        assert!(!v.state_repeated_reachable(0, 2));
     }
 
     #[test]
@@ -165,21 +180,21 @@ mod tests {
         let mut v = Vass::new(2, 1);
         v.add_action(0, vec![1], 1);
         v.add_action(1, vec![-1], 0);
-        assert!(v.state_repeated_reachable(0, 0, None));
-        assert!(v.state_repeated_reachable(0, 1, None));
+        assert!(v.state_repeated_reachable(0, 0));
+        assert!(v.state_repeated_reachable(0, 1));
     }
 
     #[test]
     fn self_loop_without_counters_is_a_lasso() {
         let mut v = Vass::new(1, 0);
         v.add_action(0, vec![], 0);
-        assert!(v.state_repeated_reachable(0, 0, None));
+        assert!(v.state_repeated_reachable(0, 0));
     }
 
     #[test]
     fn no_actions_means_no_lasso() {
         let v = Vass::new(1, 0);
-        assert!(!v.state_repeated_reachable(0, 0, None));
+        assert!(!v.state_repeated_reachable(0, 0));
         assert!(v.state_reachable(0, 0));
     }
 

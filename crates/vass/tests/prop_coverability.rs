@@ -59,7 +59,7 @@ proptest! {
         for target in 0..3 {
             if explorer.has_lasso(&vass, 0, target) {
                 prop_assert!(
-                    vass.state_repeated_reachable(0, target, None),
+                    vass.state_repeated_reachable(0, target),
                     "explorer found a capped lasso at {target} that Karp–Miller missed"
                 );
             }

@@ -26,7 +26,6 @@ fn main() {
         VerifierConfig {
             max_successors: 24,
             max_control_states: 800,
-            lasso_cycle_bound: Some(24),
             km_node_cap: 4_000,
             ..VerifierConfig::default()
         }
