@@ -8,6 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use has_arith::{CellSet, HcdBuilder, LinExpr, Rational};
+use has_bench::{engine_modes, fast_config, measure};
+use has_core::VerifierConfig;
+use has_workloads::generator::GeneratorParams;
 
 fn polynomials(nvars: usize) -> Vec<LinExpr<usize>> {
     // x_i - x_{i+1} and x_i - c hyperplanes.
@@ -53,5 +56,39 @@ fn cells(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, cells);
+/// End-to-end verification with the HCD enabled, in both engine modes: the
+/// cell decomposition is built once up front on the coordinating thread, so
+/// this isolates how it composes with the parallel `(T, β)` fan-out.
+fn cells_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_decomposition_verify");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let generated = GeneratorParams {
+        arithmetic: true,
+        numeric_vars: 2,
+        ..GeneratorParams::default()
+    }
+    .generate();
+    for (mode, threads) in engine_modes() {
+        let config = VerifierConfig {
+            use_cells: true,
+            ..fast_config()
+        }
+        .with_threads(threads);
+        group.bench_function(BenchmarkId::new("acyclic-arith", mode), |b| {
+            b.iter(|| {
+                measure(
+                    &generated.label,
+                    &generated.system,
+                    &generated.property,
+                    config.clone(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cells, cells_verify);
 criterion_main!(benches);

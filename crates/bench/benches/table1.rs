@@ -8,7 +8,7 @@
 //! *relative* cost ordering of the six cells can be compared.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use has_bench::{fast_config, measure};
+use has_bench::{engine_modes, fast_config, measure};
 use has_model::SchemaClass;
 use has_workloads::generator::GeneratorParams;
 
@@ -32,20 +32,22 @@ fn table1(c: &mut Criterion) {
                 numeric_vars: 1,
             };
             let generated = params.generate();
-            let id = BenchmarkId::new(
-                format!("{class}"),
-                if artifact_relations { "with-set" } else { "no-set" },
-            );
-            group.bench_function(id, |b| {
-                b.iter(|| {
-                    measure(
-                        &generated.label,
-                        &generated.system,
-                        &generated.property,
-                        fast_config(),
-                    )
-                })
-            });
+            for (mode, threads) in engine_modes() {
+                let id = BenchmarkId::new(
+                    format!("{class}/{mode}"),
+                    if artifact_relations { "with-set" } else { "no-set" },
+                );
+                group.bench_function(id, |b| {
+                    b.iter(|| {
+                        measure(
+                            &generated.label,
+                            &generated.system,
+                            &generated.property,
+                            fast_config().with_threads(threads),
+                        )
+                    })
+                });
+            }
         }
     }
     group.finish();

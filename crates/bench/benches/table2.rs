@@ -7,7 +7,7 @@
 //! number of numeric variables (EXP-F4 isolates that growth).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use has_bench::{fast_config, measure};
+use has_bench::{engine_modes, fast_config, measure};
 use has_core::VerifierConfig;
 use has_model::SchemaClass;
 use has_workloads::generator::GeneratorParams;
@@ -32,24 +32,27 @@ fn table2(c: &mut Criterion) {
                 numeric_vars: 1,
             };
             let generated = params.generate();
-            let config = VerifierConfig {
-                use_cells: true,
-                ..fast_config()
-            };
-            let id = BenchmarkId::new(
-                format!("{class}"),
-                if artifact_relations { "with-set" } else { "no-set" },
-            );
-            group.bench_function(id, |b| {
-                b.iter(|| {
-                    measure(
-                        &generated.label,
-                        &generated.system,
-                        &generated.property,
-                        config.clone(),
-                    )
-                })
-            });
+            for (mode, threads) in engine_modes() {
+                let config = VerifierConfig {
+                    use_cells: true,
+                    ..fast_config()
+                }
+                .with_threads(threads);
+                let id = BenchmarkId::new(
+                    format!("{class}/{mode}"),
+                    if artifact_relations { "with-set" } else { "no-set" },
+                );
+                group.bench_function(id, |b| {
+                    b.iter(|| {
+                        measure(
+                            &generated.label,
+                            &generated.system,
+                            &generated.property,
+                            config.clone(),
+                        )
+                    })
+                });
+            }
         }
     }
     group.finish();

@@ -4,7 +4,7 @@
 //! on the buggy and fixed variants of the specification.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use has_bench::{fast_config, measure};
+use has_bench::{engine_modes, fast_config, measure};
 use has_workloads::travel::{travel_booking, travel_property, TravelVariant};
 
 fn travel(c: &mut Criterion) {
@@ -15,9 +15,18 @@ fn travel(c: &mut Criterion) {
     for variant in [TravelVariant::Buggy, TravelVariant::Fixed] {
         let t = travel_booking(variant);
         let property = travel_property(&t);
-        group.bench_function(format!("{variant:?}"), |b| {
-            b.iter(|| measure(&format!("{variant:?}"), &t.system, &property, fast_config()))
-        });
+        for (mode, threads) in engine_modes() {
+            group.bench_function(format!("{variant:?}/{mode}"), |b| {
+                b.iter(|| {
+                    measure(
+                        &format!("{variant:?}"),
+                        &t.system,
+                        &property,
+                        fast_config().with_threads(threads),
+                    )
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -6,7 +6,9 @@
 //! and on generated artifact systems with growing artifact-relation tuples.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use has_bench::{engine_modes, fast_config, measure};
 use has_vass::{CoverabilityGraph, Vass};
+use has_workloads::counters::{counter_gadget, counter_liveness_property};
 
 /// A VASS with `d` counters where state 0 pumps each counter and state 1
 /// drains them; the coverability graph grows with `d`.
@@ -39,5 +41,32 @@ fn vass_dimension(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, vass_dimension);
+/// Full verification of the Theorem 11 counter gadget (whose VASS dimension
+/// grows with `d`) in both engine modes — the end-to-end counterpart of the
+/// raw coverability sweep above.
+fn counter_gadget_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_gadget_verify");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for d in [1usize, 2] {
+        let g = counter_gadget(d);
+        let property = counter_liveness_property(&g);
+        for (mode, threads) in engine_modes() {
+            group.bench_function(BenchmarkId::new(format!("d{d}"), mode), |b| {
+                b.iter(|| {
+                    measure(
+                        &format!("counter-gadget/d={d}"),
+                        &g.system,
+                        &property,
+                        fast_config().with_threads(threads),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, vass_dimension, counter_gadget_verify);
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! ```
 
 use has_arith::{CellSet, LinExpr, Rational};
-use has_bench::{bench_config, fast_config, measure, Measurement};
+use has_bench::{bench_config, engine_modes, fast_config, measure, Measurement};
 use has_core::VerifierConfig;
 use has_model::SchemaClass;
 use has_vass::{CoverabilityGraph, Vass};
@@ -18,78 +18,136 @@ use has_workloads::generator::GeneratorParams;
 use has_workloads::orders::{never_enqueue_property, order_fulfilment, ship_after_quote_property};
 use has_workloads::travel::{travel_booking, travel_property, TravelVariant};
 
-fn table_grid(arithmetic: bool) -> Vec<Measurement> {
-    let mut rows = Vec::new();
+fn grid_params(arithmetic: bool) -> Vec<GeneratorParams> {
+    let mut out = Vec::new();
     for class in [
         SchemaClass::Acyclic,
         SchemaClass::LinearlyCyclic,
         SchemaClass::Cyclic,
     ] {
         for artifact_relations in [false, true] {
-            let params = GeneratorParams {
+            out.push(GeneratorParams {
                 schema_class: class,
                 artifact_relations,
                 arithmetic,
                 depth: 2,
                 width: 1,
                 numeric_vars: if arithmetic { 2 } else { 1 },
-            };
-            let generated = params.generate();
-            let config = VerifierConfig {
-                use_cells: arithmetic,
-                ..bench_config()
-            };
-            rows.push(measure(
-                &generated.label,
-                &generated.system,
-                &generated.property,
-                config,
-            ));
+            });
         }
     }
+    out
+}
+
+fn table_grid(arithmetic: bool, threads: usize) -> Vec<Measurement> {
+    let mut rows = Vec::new();
+    for params in grid_params(arithmetic) {
+        let generated = params.generate();
+        let config = VerifierConfig {
+            use_cells: arithmetic,
+            ..bench_config()
+        }
+        .with_threads(threads);
+        rows.push(measure(
+            &generated.label,
+            &generated.system,
+            &generated.property,
+            config,
+        ));
+    }
     rows
+}
+
+fn exp_table(arithmetic: bool) {
+    for (_, threads) in engine_modes() {
+        for row in table_grid(arithmetic, threads) {
+            println!("{}", row.row());
+        }
+    }
 }
 
 fn exp_table1() {
     println!("== EXP-T1: Table 1 (no arithmetic) — schema class x artifact relations ==");
     println!("{}", Measurement::header());
-    for row in table_grid(false) {
-        println!("{}", row.row());
-    }
+    exp_table(false);
     println!();
 }
 
 fn exp_table2() {
     println!("== EXP-T2: Table 2 (with arithmetic) — schema class x artifact relations ==");
     println!("{}", Measurement::header());
-    for row in table_grid(true) {
-        println!("{}", row.row());
-    }
+    exp_table(true);
     println!();
 }
 
 fn exp_travel() {
     println!("== EXP-F1: travel booking (Appendix A) — buggy vs fixed ==");
     println!("{}", Measurement::header());
-    for variant in [TravelVariant::Buggy, TravelVariant::Fixed] {
-        let t = travel_booking(variant);
-        let property = travel_property(&t);
-        let row = measure(
-            &format!("travel-booking/{variant:?}"),
-            &t.system,
-            &property,
-            fast_config(),
-        );
-        println!("{}", row.row());
+    for (_, threads) in engine_modes() {
+        for variant in [TravelVariant::Buggy, TravelVariant::Fixed] {
+            let t = travel_booking(variant);
+            let property = travel_property(&t);
+            let row = measure(
+                &format!("travel-booking/{variant:?}"),
+                &t.system,
+                &property,
+                fast_config().with_threads(threads),
+            );
+            println!("{}", row.row());
+        }
+        // The orders workload doubles as a second realistic process.
+        let o = order_fulfilment();
+        for (name, property) in [
+            ("orders/ship-after-quote", ship_after_quote_property(&o)),
+            ("orders/never-enqueue(false)", never_enqueue_property(&o)),
+        ] {
+            let row = measure(
+                name,
+                &o.system,
+                &property,
+                bench_config().with_threads(threads),
+            );
+            println!("{}", row.row());
+        }
     }
-    // The orders workload doubles as a second realistic process.
-    let o = order_fulfilment();
-    for (name, property) in [
-        ("orders/ship-after-quote", ship_after_quote_property(&o)),
-        ("orders/never-enqueue(false)", never_enqueue_property(&o)),
-    ] {
-        let row = measure(name, &o.system, &property, bench_config());
-        println!("{}", row.row());
+    println!();
+}
+
+/// EXP-P1 — wall-clock scaling of the parallel engine over the Tables 1/2
+/// grids. One row per thread count with the grid's total verification time
+/// and the speedup relative to the sequential engine. (On a single-core host
+/// the speedup hovers around 1.0× — the jobs timeshare one CPU.)
+fn exp_scaling() {
+    println!("== EXP-P1: parallel engine scaling — speedup vs thread count ==");
+    println!(
+        "{:<10} {:>8} {:>14} {:>9} {:>14} {:>9}",
+        "threads", "workers", "table1(ms)", "speedup", "table2(ms)", "speedup"
+    );
+    let grid_time = |arithmetic: bool, threads: usize| -> f64 {
+        table_grid(arithmetic, threads)
+            .iter()
+            .map(|m| m.time.as_secs_f64())
+            .sum::<f64>()
+            * 1000.0
+    };
+    // Warm-up pass over both grids so first-touch effects (page faults,
+    // lazy allocation) do not contaminate the threads = 1 baselines.
+    let _ = grid_time(false, 1);
+    let _ = grid_time(true, 1);
+    let mut baseline: Option<(f64, f64)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let t1 = grid_time(false, threads);
+        let t2 = grid_time(true, threads);
+        let (b1, b2) = *baseline.get_or_insert((t1, t2));
+        println!(
+            "{:<10} {:>8} {:>14.1} {:>8.2}x {:>14.1} {:>8.2}x",
+            threads,
+            threads,
+            t1,
+            b1 / t1,
+            t2,
+            b2 / t2
+        );
     }
     println!();
 }
@@ -161,6 +219,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("gadget", exp_gadget),
     ("vass", exp_vass),
     ("cells", exp_cells),
+    ("scaling", exp_scaling),
 ];
 
 fn main() {

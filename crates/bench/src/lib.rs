@@ -20,6 +20,8 @@ pub struct Measurement {
     pub holds: bool,
     /// Wall-clock time.
     pub time: Duration,
+    /// Worker threads the verifier ran with (`1` = sequential engine).
+    pub threads: usize,
     /// Symbolic control states constructed across all per-task VASS.
     pub control_states: usize,
     /// Karp–Miller coverability-graph nodes.
@@ -34,9 +36,10 @@ impl Measurement {
     /// One formatted row for the `tables` binary.
     pub fn row(&self) -> String {
         format!(
-            "{:<42} {:>7} {:>9} {:>9} {:>6} {:>7} {:>9.1}",
+            "{:<42} {:>7} {:>4} {:>9} {:>9} {:>6} {:>7} {:>9.1}",
             self.label,
             if self.holds { "holds" } else { "viol." },
+            self.threads,
             self.control_states,
             self.coverability_nodes,
             self.counter_dimensions,
@@ -48,8 +51,8 @@ impl Measurement {
     /// The header matching [`Measurement::row`].
     pub fn header() -> String {
         format!(
-            "{:<42} {:>7} {:>9} {:>9} {:>6} {:>7} {:>9}",
-            "instance", "result", "states", "km-nodes", "dims", "cells", "time(ms)"
+            "{:<42} {:>7} {:>4} {:>9} {:>9} {:>6} {:>7} {:>9}",
+            "instance", "result", "thr", "states", "km-nodes", "dims", "cells", "time(ms)"
         )
     }
 }
@@ -61,6 +64,7 @@ pub fn measure(
     property: &HltlFormula,
     config: VerifierConfig,
 ) -> Measurement {
+    let threads = config.threads.max(1);
     let start = Instant::now();
     let outcome: Outcome = Verifier::with_config(system, property, config).verify();
     let time = start.elapsed();
@@ -68,11 +72,22 @@ pub fn measure(
         label: label.to_string(),
         holds: outcome.holds,
         time,
+        threads,
         control_states: outcome.stats.control_states,
         coverability_nodes: outcome.stats.coverability_nodes,
         counter_dimensions: outcome.stats.counter_dimensions,
         hcd_cells: outcome.stats.hcd_cells,
     }
+}
+
+/// The engine modes every verification bench reports: the exact sequential
+/// path and the parallel path at the default worker count, floored at two
+/// workers — even on a single-core machine (or under `HAS_THREADS=1`) the
+/// `par` mode must spawn a real pool, since a one-worker "pool" would run
+/// inline and skip the fan-out code path entirely.
+pub fn engine_modes() -> Vec<(&'static str, usize)> {
+    let par = VerifierConfig::default_threads().max(2);
+    vec![("seq", 1), ("par", par)]
 }
 
 /// The verifier configuration used by the benchmarks: modest caps so the
@@ -82,6 +97,10 @@ pub fn bench_config() -> VerifierConfig {
         max_successors: 48,
         max_control_states: 3_000,
         km_node_cap: 20_000,
+        // Benchmarks pin the sequential engine by default so rows are
+        // comparable across machines; the parallel mode is always reported
+        // explicitly (see `engine_modes` and EXP-P1).
+        threads: 1,
         ..VerifierConfig::default()
     }
 }
@@ -96,6 +115,7 @@ pub fn fast_config() -> VerifierConfig {
         max_successors: 24,
         max_control_states: 800,
         km_node_cap: 4_000,
+        threads: 1,
         ..VerifierConfig::default()
     }
 }

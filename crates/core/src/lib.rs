@@ -26,11 +26,20 @@
 //! specification's observable expressions, the treatment of arithmetic) are
 //! catalogued in DESIGN.md §5 together with the direction in which each can
 //! affect precision.
+//!
+//! The engine runs either sequentially or in parallel
+//! ([`VerifierConfig::threads`]): sibling `(T, β)` explorations within a
+//! hierarchy level, and the per-initial-state Lemma 21 queries, are
+//! independent given the children's completed `R_T`, so they are fanned out
+//! over a scoped worker pool. The reported [`Outcome`] and [`Stats`] are
+//! identical at every thread count — DESIGN.md §5.6 states the determinism
+//! contract.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod outcome;
+mod parallel;
 pub mod property;
 pub mod task_verifier;
 pub mod verifier;

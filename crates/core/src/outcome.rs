@@ -63,6 +63,19 @@ pub struct Stats {
 }
 
 impl Stats {
+    /// Merges two statistics records into one, by value.
+    ///
+    /// The merge is associative and commutative (every field is a plain
+    /// count, combined by addition), which is what lets the parallel engine
+    /// combine per-`(T, β)` statistics in *any* completion order and still
+    /// produce aggregates identical to the sequential run — see DESIGN.md
+    /// §5.6 for the determinism contract this supports.
+    #[must_use]
+    pub fn merge(mut self, other: &Stats) -> Stats {
+        self.absorb(other);
+        self
+    }
+
     /// Merges another statistics record into this one.
     pub fn absorb(&mut self, other: &Stats) {
         self.control_states += other.control_states;
@@ -141,6 +154,30 @@ mod tests {
         assert_eq!(a.transitions, 2);
         assert_eq!(a.coverability_nodes, 5);
         assert!(a.to_string().contains("states=11"));
+    }
+
+    #[test]
+    fn stats_merge_is_associative_and_commutative() {
+        let a = Stats {
+            control_states: 3,
+            coverability_nodes: 7,
+            ..Stats::default()
+        };
+        let b = Stats {
+            control_states: 11,
+            transitions: 2,
+            ..Stats::default()
+        };
+        let c = Stats {
+            rt_entries: 5,
+            transitions: 9,
+            ..Stats::default()
+        };
+        let left = a.clone().merge(&b).merge(&c);
+        let right = a.clone().merge(&b.clone().merge(&c));
+        assert_eq!(left, right);
+        let swapped = c.merge(&b).merge(&a);
+        assert_eq!(left, swapped);
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Scoped-thread fan-out used by the parallel verification engine.
+//!
+//! The pool is deliberately minimal: a batch of `n` independent jobs is
+//! distributed over at most `threads` scoped workers pulling indices from a
+//! shared atomic counter, and every job's result is written into its own
+//! pre-allocated slot. Results are therefore returned **in job order**, no
+//! matter which worker computed them or when it finished — the property the
+//! determinism contract of DESIGN.md §5.6 builds on. `std::thread::scope`
+//! keeps the jobs free to borrow from the caller's stack (the engine shares
+//! the schema-wide tables by reference, see [`crate::verifier`]) and
+//! propagates worker panics to the caller, matching the sequential panic
+//! behaviour.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `n` independent jobs `f(0), …, f(n - 1)` on up to `threads` scoped
+/// worker threads and returns their results in job order.
+///
+/// With `threads <= 1` (or fewer than two jobs) everything runs inline on the
+/// calling thread, in index order, spawning nothing — this is the engine's
+/// "exact sequential" code path.
+pub(crate) fn run_indexed<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let out = run_indexed(4, 100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let out = run_indexed(1, 5, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = run_indexed(16, 3, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_jobs_yield_empty() {
+        let out: Vec<usize> = run_indexed(4, 0, |i| i);
+        assert!(out.is_empty());
+    }
+}

@@ -5,18 +5,26 @@ use has_ltl::{Buchi, HltlFormula, Ltl};
 use has_model::{ArtifactSystem, Atom, AttrKind, Condition, RelationId, Term, TaskId, VarId, VarSort};
 use has_symbolic::TaskContext;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Everything derived from the property before state exploration starts:
 /// the flattened per-task formula lists `Φ_T`, the per-task symbolic
 /// contexts (whose expression universes include the property's conditions),
 /// and a cache of Büchi automata per `(task, β)`.
+///
+/// The contexts and the cached automata are the schema-wide tables every
+/// `(T, β)` exploration reads; both are reference-counted so the parallel
+/// engine can hand the same instances to all workers instead of deep-cloning
+/// them per assignment (DESIGN.md §2 lists which state is shared vs.
+/// per-worker).
 pub struct PropertyContext {
     /// The flattened property.
     pub flat: FlattenedProperty,
     /// Symbolic context per task (for *all* tasks of the system, not only
-    /// those mentioned by the property).
-    pub contexts: BTreeMap<TaskId, TaskContext>,
-    buchi_cache: BTreeMap<(TaskId, Vec<bool>), Buchi<TaskProp>>,
+    /// those mentioned by the property), behind a shared handle: the
+    /// verifier's workers all read the same map.
+    pub contexts: Arc<BTreeMap<TaskId, TaskContext>>,
+    buchi_cache: BTreeMap<(TaskId, Vec<bool>), Arc<Buchi<TaskProp>>>,
 }
 
 impl PropertyContext {
@@ -57,7 +65,7 @@ impl PropertyContext {
         }
         PropertyContext {
             flat,
-            contexts,
+            contexts: Arc::new(contexts),
             buchi_cache: BTreeMap::new(),
         }
     }
@@ -163,20 +171,61 @@ impl PropertyContext {
     }
 
     /// The Büchi automaton `B(T, β)` for the conjunction
-    /// `⋀_{β(i)} φ_i ∧ ⋀_{¬β(i)} ¬φ_i`.
+    /// `⋀_{β(i)} φ_i ∧ ⋀_{¬β(i)} ¬φ_i`, built on demand and cached.
     pub fn buchi(&mut self, task: TaskId, beta: &[bool]) -> &Buchi<TaskProp> {
         let key = (task, beta.to_vec());
         if !self.buchi_cache.contains_key(&key) {
-            let phi = self.flat.phi(task);
-            let mut formula: Ltl<TaskProp> = Ltl::True;
-            for (i, f) in phi.iter().enumerate() {
-                let clause = if beta[i] { f.clone() } else { f.clone().not() };
-                formula = formula.and(clause);
-            }
-            let automaton = Buchi::from_ltl(&formula);
-            self.buchi_cache.insert(key.clone(), automaton);
+            let automaton = self.build_buchi(task, beta);
+            self.buchi_cache.insert(key.clone(), Arc::new(automaton));
         }
         &self.buchi_cache[&key]
+    }
+
+    /// A shared handle to the cached `B(T, β)`.
+    ///
+    /// The parallel engine calls [`PropertyContext::precompute_automata`]
+    /// once and then distributes these handles to its workers, so every
+    /// worker reads the *same* automaton the sequential engine would.
+    ///
+    /// # Panics
+    /// Panics if the automaton has not been built yet (via
+    /// [`PropertyContext::buchi`] or
+    /// [`PropertyContext::precompute_automata`]).
+    pub fn buchi_shared(&self, task: TaskId, beta: &[bool]) -> Arc<Buchi<TaskProp>> {
+        self.buchi_cache
+            .get(&(task, beta.to_vec()))
+            .cloned()
+            .expect("Büchi automaton not precomputed for this (task, β)")
+    }
+
+    /// Builds and caches `B(T, β)` for every task and every truth assignment
+    /// over its `Φ_T`, in the same `(task, β)` order the sequential engine
+    /// constructs them.
+    ///
+    /// This is exactly the set of automata one full verification run builds
+    /// anyway; precomputing moves the only mutation of `self` ahead of the
+    /// fan-out so workers can share `&PropertyContext` immutably.
+    pub fn precompute_automata(&mut self) {
+        let tasks: Vec<TaskId> = self.contexts.keys().copied().collect();
+        for task in tasks {
+            for beta in self.assignments(task) {
+                let key = (task, beta.clone());
+                if !self.buchi_cache.contains_key(&key) {
+                    let automaton = self.build_buchi(task, &beta);
+                    self.buchi_cache.insert(key, Arc::new(automaton));
+                }
+            }
+        }
+    }
+
+    fn build_buchi(&self, task: TaskId, beta: &[bool]) -> Buchi<TaskProp> {
+        let phi = self.flat.phi(task);
+        let mut formula: Ltl<TaskProp> = Ltl::True;
+        for (i, f) in phi.iter().enumerate() {
+            let clause = if beta[i] { f.clone() } else { f.clone().not() };
+            formula = formula.and(clause);
+        }
+        Buchi::from_ltl(&formula)
     }
 
     /// The symbolic context of a task.
@@ -249,5 +298,28 @@ mod tests {
         assert!(states_true > 0 && states_false > 0);
         // Cached: same automaton object size on second call.
         assert_eq!(pc.buchi(child, &[true]).state_count(), states_true);
+    }
+
+    #[test]
+    fn precompute_covers_every_assignment_and_shares_automata() {
+        let (system, property) = system_and_property();
+        let mut pc = PropertyContext::new(&system, &property, 1);
+        pc.precompute_automata();
+        for (task, _) in system.schema.tasks() {
+            for beta in pc.assignments(task) {
+                let shared = pc.buchi_shared(task, &beta);
+                // The on-demand accessor returns the very same automaton.
+                assert_eq!(shared.state_count(), pc.buchi(task, &beta).state_count());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not precomputed")]
+    fn buchi_shared_panics_without_precompute() {
+        let (system, property) = system_and_property();
+        let pc = PropertyContext::new(&system, &property, 1);
+        let child = system.schema.task_by_name("Child").unwrap();
+        let _ = pc.buchi_shared(child, &[true]);
     }
 }

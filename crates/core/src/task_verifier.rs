@@ -600,7 +600,26 @@ impl<'a> TaskVerifier<'a> {
 
     /// Explores `V(T, β)` and returns the contributed `R_T` entries together
     /// with exploration statistics.
+    ///
+    /// This is the sequential composition of the two independently callable
+    /// phases the parallel engine schedules separately:
+    /// [`TaskVerifier::build_graph`] (one job per `(T, β)`) followed by
+    /// [`TaskVerifier::init_queries`] for every initial state (one job per
+    /// `(T, β, τ_in)`), reduced in initial-state order by
+    /// [`TaskVerifier::reduce_queries`].
     pub fn explore(&self) -> (Vec<RtEntry>, Stats) {
+        let graph = self.build_graph();
+        let per_init: Vec<(Vec<RtEntry>, usize)> = (0..graph.initial_count())
+            .map(|pos| self.init_queries(&graph, pos))
+            .collect();
+        Self::reduce_queries(&graph, per_init)
+    }
+
+    /// Builds the control-state graph and VASS of `V(T, β)` — the forward
+    /// exploration half of [`TaskVerifier::explore`]; the Lemma 21 queries
+    /// over the result are issued separately per initial state through
+    /// [`TaskVerifier::init_queries`].
+    pub fn build_graph(&self) -> ExploredGraph {
         let schema = self.schema();
         let t = schema.task(self.task);
         let mut stats = Stats {
@@ -845,82 +864,138 @@ impl<'a> TaskVerifier<'a> {
             .filter(|(_, s)| !s.closed && self.buchi.accepting().contains(&s.q))
             .map(|(i, _)| i)
             .collect();
-        let finite_ok = |s: &CState| self.buchi.finite_accepting().contains(&s.q);
 
-        let mut entries: Vec<RtEntry> = Vec::new();
-        let push_entry = |entries: &mut Vec<RtEntry>, e: RtEntry| {
-            if !entries.contains(&e) {
-                entries.push(e);
-            }
+        // The variables a parent can observe in a returning run's output
+        // (the paper's τ_out projection target).
+        let out_vars: Vec<VarId> = {
+            let mut v = t.input_vars.clone();
+            v.extend(schema.task(self.task).return_vars());
+            v.sort();
+            v.dedup();
+            v
         };
 
-        for &init in &initial_states {
-            let input_key = input_keys[states[init].input_index].clone();
-            let graph = CoverabilityGraph::build_capped(&vass, init, self.config.km_node_cap);
-            stats.coverability_nodes += graph.node_count();
+        ExploredGraph {
+            states,
+            vass,
+            initial_states,
+            input_keys,
+            accepting,
+            out_vars,
+            stats,
+        }
+    }
 
-            // Returning paths. The recorded output is the closing state
-            // projected onto the variables the parent can observe (the input
-            // and return variables) — the paper's τ_out — which also keeps
-            // the number of distinct R_T entries small.
-            for node in graph.nodes() {
-                let cs = &states[node.state];
-                if cs.closed && finite_ok(cs) {
-                    let out_vars: Vec<VarId> = {
-                        let mut v = t.input_vars.clone();
-                        v.extend(schema.task(self.task).return_vars());
-                        v.sort();
-                        v.dedup();
-                        v
-                    };
-                    let projected = self.project_output(&cs.sym, &out_vars);
-                    push_entry(
-                        &mut entries,
-                        RtEntry {
-                            input_key: input_key.clone(),
-                            output: Some(projected),
-                            beta: self.beta.clone(),
-                        },
-                    );
-                }
-            }
-            // Blocking paths: a child was opened with a never-returning run.
-            for node in graph.nodes() {
-                let cs = &states[node.state];
-                let blocking_child = cs
-                    .children
-                    .values()
-                    .any(|c| matches!(c, ChildStatus::Active { output: None }));
-                if !cs.closed && blocking_child && finite_ok(cs) {
-                    push_entry(
-                        &mut entries,
-                        RtEntry {
-                            input_key: input_key.clone(),
-                            output: None,
-                            beta: self.beta.clone(),
-                        },
-                    );
-                    break;
-                }
-            }
-            // Lasso paths — decided exactly; no cycle-length bound applies
-            // (the former `lasso_cycle_bound` config under-approximated this
-            // query and could miss violations).
-            if !accepting.is_empty()
-                && graph.nonneg_cycle_through_pred(&vass, &|s| accepting.contains(&s))
-            {
-                push_entry(
-                    &mut entries,
-                    RtEntry {
-                        input_key: input_key.clone(),
-                        output: None,
-                        beta: self.beta.clone(),
-                    },
-                );
+    /// Answers the three Lemma 21 queries for the `pos`-th initial state of a
+    /// built graph, returning the candidate `R_T` entries **in deterministic
+    /// push order** (returning entries in coverability-node order, then the
+    /// blocking entry, then the lasso entry) together with the number of
+    /// Karp–Miller nodes this query explored.
+    ///
+    /// Candidates are *not* deduplicated against other initial states here —
+    /// that happens in [`TaskVerifier::reduce_queries`], which must run over
+    /// initial states in order. Queries for distinct initial states only read
+    /// the graph, so the parallel engine runs them concurrently.
+    pub fn init_queries(&self, graph: &ExploredGraph, pos: usize) -> (Vec<RtEntry>, usize) {
+        let init = graph.initial_states[pos];
+        let states = &graph.states;
+        let input_key = graph.input_keys[states[init].input_index].clone();
+        let cover = CoverabilityGraph::build_capped(&graph.vass, init, self.config.km_node_cap);
+        let mut candidates: Vec<RtEntry> = Vec::new();
+        let finite_ok = |s: &CState| self.buchi.finite_accepting().contains(&s.q);
+
+        // Returning paths. The recorded output is the closing state
+        // projected onto the variables the parent can observe (the input
+        // and return variables) — the paper's τ_out — which also keeps
+        // the number of distinct R_T entries small.
+        for node in cover.nodes() {
+            let cs = &states[node.state];
+            if cs.closed && finite_ok(cs) {
+                let projected = self.project_output(&cs.sym, &graph.out_vars);
+                candidates.push(RtEntry {
+                    input_key: input_key.clone(),
+                    output: Some(projected),
+                    beta: self.beta.clone(),
+                });
             }
         }
+        // Blocking paths: a child was opened with a never-returning run.
+        for node in cover.nodes() {
+            let cs = &states[node.state];
+            let blocking_child = cs
+                .children
+                .values()
+                .any(|c| matches!(c, ChildStatus::Active { output: None }));
+            if !cs.closed && blocking_child && finite_ok(cs) {
+                candidates.push(RtEntry {
+                    input_key: input_key.clone(),
+                    output: None,
+                    beta: self.beta.clone(),
+                });
+                break;
+            }
+        }
+        // Lasso paths — decided exactly; no cycle-length bound applies
+        // (the former `lasso_cycle_bound` config under-approximated this
+        // query and could miss violations).
+        if !graph.accepting.is_empty()
+            && cover.nonneg_cycle_through_pred(&graph.vass, &|s| graph.accepting.contains(&s))
+        {
+            candidates.push(RtEntry {
+                input_key,
+                output: None,
+                beta: self.beta.clone(),
+            });
+        }
+        (candidates, cover.node_count())
+    }
 
+    /// Combines per-initial-state query results — which **must** be supplied
+    /// in initial-state order — into the `(T, β)` pair's final entry list and
+    /// statistics, deduplicating candidates exactly as the sequential
+    /// exploration does.
+    pub fn reduce_queries(
+        graph: &ExploredGraph,
+        per_init: impl IntoIterator<Item = (Vec<RtEntry>, usize)>,
+    ) -> (Vec<RtEntry>, Stats) {
+        let mut stats = graph.stats.clone();
+        let mut entries: Vec<RtEntry> = Vec::new();
+        for (candidates, km_nodes) in per_init {
+            stats.coverability_nodes += km_nodes;
+            for e in candidates {
+                if !entries.contains(&e) {
+                    entries.push(e);
+                }
+            }
+        }
         stats.rt_entries = entries.len();
         (entries, stats)
+    }
+}
+
+/// The immutable artifacts of one `(T, β)` forward exploration: the control
+/// states and VASS of `V(T, β)`, its initial states with their input
+/// projection keys, the accepting set, and the statistics accumulated while
+/// building them (`coverability_nodes` and `rt_entries` are contributed later
+/// by the query phase).
+///
+/// Produced by [`TaskVerifier::build_graph`] and consumed read-only by
+/// [`TaskVerifier::init_queries`], which is what lets the engine fan the
+/// per-initial-state Lemma 21 queries out across workers.
+pub struct ExploredGraph {
+    states: Vec<CState>,
+    vass: Vass,
+    initial_states: Vec<usize>,
+    input_keys: Vec<ProjectionKey>,
+    accepting: BTreeSet<usize>,
+    out_vars: Vec<VarId>,
+    stats: Stats,
+}
+
+impl ExploredGraph {
+    /// Number of initial states — one [`TaskVerifier::init_queries`] job per
+    /// position `0..initial_count()`.
+    pub fn initial_count(&self) -> usize {
+        self.initial_states.len()
     }
 }

@@ -2,8 +2,9 @@
 //! model-checking answer.
 
 use crate::outcome::{Outcome, Stats, Violation, ViolationKind};
+use crate::parallel::run_indexed;
 use crate::property::PropertyContext;
-use crate::task_verifier::{TaskSummary, TaskVerifier};
+use crate::task_verifier::{ExploredGraph, RtEntry, TaskSummary, TaskVerifier};
 use has_arith::{HcdBuilder, LinExpr};
 use has_ltl::HltlFormula;
 use has_model::{ArtifactSystem, TaskId, VarId};
@@ -38,6 +39,15 @@ pub struct VerifierConfig {
     /// constraints (Section 5). The decomposition is reported in the
     /// statistics and used to refine arithmetic atoms where possible.
     pub use_cells: bool,
+    /// Number of worker threads for the `(T, β)` fan-out. `1` runs the exact
+    /// sequential code path (no threads are spawned); larger values schedule
+    /// the task hierarchy level by level and distribute each level's
+    /// `(T, β)` explorations and per-initial-state Lemma 21 queries across a
+    /// scoped worker pool. The outcome and statistics are identical at every
+    /// thread count (DESIGN.md §5.6); `0` is treated as `1`.
+    ///
+    /// Defaults to [`VerifierConfig::default_threads`].
+    pub threads: usize,
 }
 
 impl Default for VerifierConfig {
@@ -50,7 +60,33 @@ impl Default for VerifierConfig {
             max_unknown_props: 4,
             km_node_cap: 50_000,
             use_cells: false,
+            threads: Self::default_threads(),
         }
+    }
+}
+
+impl VerifierConfig {
+    /// The default worker count: the `HAS_THREADS` environment variable when
+    /// it is set to a positive integer, otherwise the machine's available
+    /// parallelism (`1` if that cannot be determined).
+    pub fn default_threads() -> usize {
+        if let Ok(value) = std::env::var("HAS_THREADS") {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Returns this configuration with the given worker count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -89,6 +125,14 @@ impl<'a> Verifier<'a> {
     /// Returns an [`Outcome`] with the answer, a symbolic witness when the
     /// property can be violated, and exploration statistics.
     ///
+    /// With `config.threads > 1` the task hierarchy is scheduled as a
+    /// level-synchronized DAG: within a level every `(T, β)` exploration and
+    /// every per-initial-state Lemma 21 query runs on a scoped worker pool,
+    /// and all results are reduced in the fixed `(task, β, τ_in)` order —
+    /// the outcome and statistics are identical to `threads = 1`
+    /// (DESIGN.md §5.6 states the contract; `tests/parallel_determinism.rs`
+    /// enforces it).
+    ///
     /// # Panics
     /// Panics if the property fails validation against the system.
     pub fn verify(&self) -> Outcome {
@@ -102,67 +146,19 @@ impl<'a> Verifier<'a> {
         }
 
         let mut pc = PropertyContext::new(self.system, self.property, self.config.nav_depth);
-        let schema = &self.system.schema;
+        // Every B(T, β) one verification run needs, built up front: after
+        // this the property context is never mutated again, so workers can
+        // share it immutably.
+        pc.precompute_automata();
 
-        // Bottom-up order: children before parents.
-        let mut order: Vec<TaskId> = Vec::new();
-        let mut stack = vec![(schema.root, false)];
-        while let Some((t, expanded)) = stack.pop() {
-            if expanded {
-                order.push(t);
-            } else {
-                stack.push((t, true));
-                for &c in &schema.task(t).children {
-                    stack.push((c, false));
-                }
-            }
-        }
-
-        let mut summaries: BTreeMap<TaskId, TaskSummary> = BTreeMap::new();
-        for task in order {
-            let mut summary = TaskSummary::default();
-            let assignments = pc.assignments(task);
-            for beta in assignments {
-                // Büchi automata are cached inside the property context; the
-                // borrow is released before the task verifier runs by cloning
-                // the automaton (they are small).
-                let buchi = pc.buchi(task, &beta).clone();
-                let phi = pc.phi(task).to_vec();
-                let ctx = pc.context(task);
-                let child_contexts: BTreeMap<TaskId, _> = schema
-                    .task(task)
-                    .children
-                    .iter()
-                    .map(|c| (*c, pc.context(*c).clone()))
-                    .collect();
-                let tv = TaskVerifier::new(
-                    self.system,
-                    &self.config,
-                    ctx,
-                    task,
-                    beta,
-                    &phi,
-                    &buchi,
-                    &summaries,
-                    &child_contexts,
-                );
-                let (entries, task_stats) = tv.explore();
-                if std::env::var("HAS_VERIFIER_DEBUG").is_ok() {
-                    let returning = entries.iter().filter(|e| e.output.is_some()).count();
-                    eprintln!(
-                        "[has-core] task {} beta {:?}: {} entries ({} returning), {}",
-                        self.system.schema.task(task).name,
-                        tv_beta_for_debug(&entries),
-                        entries.len(),
-                        returning,
-                        task_stats
-                    );
-                }
-                stats.absorb(&task_stats);
-                summary.entries.extend(entries);
-            }
-            summaries.insert(task, summary);
-        }
+        let order = self.bottom_up_order();
+        let threads = self.config.threads.max(1);
+        let (summaries, explored) = if threads == 1 {
+            self.run_sequential(&pc, &order)
+        } else {
+            self.run_parallel(&pc, &order, threads)
+        };
+        stats = stats.merge(&explored);
 
         // Γ ⊨ φ iff there is no non-returning root run with β(ξ) = 0.
         let (root_task, root_index) = pc.root();
@@ -187,6 +183,185 @@ impl<'a> Verifier<'a> {
                 }),
                 stats,
             },
+        }
+    }
+
+    /// Bottom-up (children before parents) DFS postorder over the hierarchy.
+    fn bottom_up_order(&self) -> Vec<TaskId> {
+        let schema = &self.system.schema;
+        let mut order: Vec<TaskId> = Vec::new();
+        let mut stack = vec![(schema.root, false)];
+        while let Some((t, expanded)) = stack.pop() {
+            if expanded {
+                order.push(t);
+            } else {
+                stack.push((t, true));
+                for &c in &schema.task(t).children {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// The exact sequential engine: one `(T, β)` exploration after another in
+    /// bottom-up task order, each immediately followed by its Lemma 21
+    /// queries. This is the `threads = 1` code path — no worker threads are
+    /// spawned anywhere.
+    fn run_sequential(
+        &self,
+        pc: &PropertyContext,
+        order: &[TaskId],
+    ) -> (BTreeMap<TaskId, TaskSummary>, Stats) {
+        let contexts = &*pc.contexts;
+        let mut stats = Stats::default();
+        let mut summaries: BTreeMap<TaskId, TaskSummary> = BTreeMap::new();
+        for &task in order {
+            let mut summary = TaskSummary::default();
+            for beta in pc.assignments(task) {
+                let buchi = pc.buchi_shared(task, &beta);
+                let tv = TaskVerifier::new(
+                    self.system,
+                    &self.config,
+                    &contexts[&task],
+                    task,
+                    beta,
+                    pc.phi(task),
+                    &buchi,
+                    &summaries,
+                    contexts,
+                );
+                let (entries, task_stats) = tv.explore();
+                self.debug_pair(task, &entries, &task_stats);
+                stats.absorb(&task_stats);
+                summary.entries.extend(entries);
+            }
+            summaries.insert(task, summary);
+        }
+        (summaries, stats)
+    }
+
+    /// The parallel engine: the hierarchy is scheduled level by level
+    /// (children strictly before parents, sibling tasks concurrent), and
+    /// within a level two waves of jobs are fanned out over a scoped worker
+    /// pool — first one [`TaskVerifier::build_graph`] job per `(T, β)` pair,
+    /// then one [`TaskVerifier::init_queries`] job per `(T, β, τ_in)`
+    /// triple. Workers only *read* shared state (the system, the property
+    /// context, the previous levels' summaries); all results are reduced on
+    /// the calling thread in the fixed `(task, β, τ_in)` order, which makes
+    /// the outcome independent of scheduling (DESIGN.md §5.6).
+    fn run_parallel(
+        &self,
+        pc: &PropertyContext,
+        order: &[TaskId],
+        threads: usize,
+    ) -> (BTreeMap<TaskId, TaskSummary>, Stats) {
+        let schema = &self.system.schema;
+        let contexts = &*pc.contexts;
+        let mut stats = Stats::default();
+        let mut summaries: BTreeMap<TaskId, TaskSummary> = BTreeMap::new();
+
+        // Height of each task above the leaves; tasks of equal height are
+        // independent of each other once every lower level is summarized.
+        let mut height: BTreeMap<TaskId, usize> = BTreeMap::new();
+        for &t in order {
+            let h = schema
+                .task(t)
+                .children
+                .iter()
+                .map(|c| height[c] + 1)
+                .max()
+                .unwrap_or(0);
+            height.insert(t, h);
+        }
+        let max_height = height.values().copied().max().unwrap_or(0);
+
+        for level in 0..=max_height {
+            let level_tasks: Vec<TaskId> = order
+                .iter()
+                .copied()
+                .filter(|t| height[t] == level)
+                .collect();
+            // Deterministic job order: tasks in bottom-up order, assignments
+            // in β-enumeration order.
+            let pairs: Vec<(TaskId, Vec<bool>)> = level_tasks
+                .iter()
+                .flat_map(|&t| pc.assignments(t).into_iter().map(move |b| (t, b)))
+                .collect();
+            let buchis: Vec<_> = pairs
+                .iter()
+                .map(|(t, b)| pc.buchi_shared(*t, b))
+                .collect();
+            let verifiers: Vec<TaskVerifier> = pairs
+                .iter()
+                .zip(&buchis)
+                .map(|((task, beta), buchi)| {
+                    TaskVerifier::new(
+                        self.system,
+                        &self.config,
+                        &contexts[task],
+                        *task,
+                        beta.clone(),
+                        pc.phi(*task),
+                        buchi,
+                        &summaries,
+                        contexts,
+                    )
+                })
+                .collect();
+
+            // Wave 1: forward exploration, one job per (T, β).
+            let graphs: Vec<ExploredGraph> =
+                run_indexed(threads, verifiers.len(), |i| verifiers[i].build_graph());
+
+            // Wave 2: Lemma 21 queries, one job per (T, β, τ_in).
+            let jobs: Vec<(usize, usize)> = graphs
+                .iter()
+                .enumerate()
+                .flat_map(|(pair, g)| (0..g.initial_count()).map(move |pos| (pair, pos)))
+                .collect();
+            let query_results: Vec<(Vec<RtEntry>, usize)> =
+                run_indexed(threads, jobs.len(), |i| {
+                    let (pair, pos) = jobs[i];
+                    verifiers[pair].init_queries(&graphs[pair], pos)
+                });
+
+            // Ordered reduction: per pair (in job order), per initial state
+            // (in enumeration order) — byte-identical to the sequential run.
+            let mut results = query_results.into_iter();
+            for ((task, _beta), graph) in pairs.iter().zip(&graphs) {
+                let per_init: Vec<(Vec<RtEntry>, usize)> =
+                    results.by_ref().take(graph.initial_count()).collect();
+                let (entries, task_stats) = TaskVerifier::reduce_queries(graph, per_init);
+                self.debug_pair(*task, &entries, &task_stats);
+                stats.absorb(&task_stats);
+                summaries
+                    .entry(*task)
+                    .or_default()
+                    .entries
+                    .extend(entries);
+            }
+            // Tasks whose every (T, β) produced no entries still need a
+            // (default) summary so parents can look them up.
+            for &t in &level_tasks {
+                summaries.entry(t).or_default();
+            }
+        }
+        (summaries, stats)
+    }
+
+    /// `HAS_VERIFIER_DEBUG` trace line for one reduced `(T, β)` pair.
+    fn debug_pair(&self, task: TaskId, entries: &[crate::task_verifier::RtEntry], stats: &Stats) {
+        if std::env::var("HAS_VERIFIER_DEBUG").is_ok() {
+            let returning = entries.iter().filter(|e| e.output.is_some()).count();
+            eprintln!(
+                "[has-core] task {} beta {:?}: {} entries ({} returning), {}",
+                self.system.schema.task(task).name,
+                tv_beta_for_debug(entries),
+                entries.len(),
+                returning,
+                stats
+            );
         }
     }
 

@@ -4,7 +4,7 @@
 //! any convenient order, resolves foreign-key references by relation name
 //! (forward references allowed), and finally [`SystemBuilder::build`]s an
 //! [`ArtifactSystem`], running the full structural validation of
-//! [`crate::validate`].
+//! [`crate::validate()`].
 //!
 //! ```
 //! use has_model::{Condition, SystemBuilder, SetUpdate};

@@ -15,7 +15,7 @@
 //! * a global **pre-condition** `Π` on the root task's input variables.
 //!
 //! This crate defines the abstract syntax of all of the above, an ergonomic
-//! [`builder::SystemBuilder`], structural validation ([`validate`]) of the
+//! [`builder::SystemBuilder`], structural validation ([`validate()`]) of the
 //! well-formedness rules and of the syntactic decidability restrictions of
 //! Section 6, and schema analysis (foreign-key graph classification into
 //! acyclic / linearly-cyclic / cyclic, the driver of the complexity results

@@ -1,6 +1,6 @@
 //! Structural validation of artifact systems.
 //!
-//! [`validate`] checks the well-formedness requirements of Definitions 1–7
+//! [`validate()`] checks the well-formedness requirements of Definitions 1–7
 //! plus the *syntactic* decidability restrictions of Section 6 (the
 //! remaining restrictions are enforced by the operational and symbolic
 //! semantics rather than by the syntax):

@@ -29,7 +29,7 @@
 //! Kosaraju–Sullivan support refinement for connectivity.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bounded;
 pub mod coverability;

@@ -10,6 +10,57 @@
 //! - [`has_core`] — the verifier (the paper's primary contribution)
 //! - [`has_sim`] — concrete operational semantics and runtime monitoring
 //! - [`has_workloads`] — example systems and parametric generators
+//!
+//! # Quick start
+//!
+//! Build a one-task system with a flag that a service can set, ask whether
+//! the flag is *eventually* set on every run, and read the [`Outcome`]: the
+//! property is violated (the idle service can loop forever), and the outcome
+//! carries a symbolic witness plus exploration statistics. Setting
+//! [`VerifierConfig::threads`](verifier::VerifierConfig::threads) above `1`
+//! runs the same search on a worker pool with an identical result.
+//!
+//! [`Outcome`]: verifier::Outcome
+//!
+//! ```
+//! use has::arith::Rational;
+//! use has::ltl::hltl::HltlBuilder;
+//! use has::model::{Condition, SetUpdate, SystemBuilder};
+//! use has::verifier::{Verifier, VerifierConfig};
+//!
+//! // A system with one task, one numeric flag, and two services.
+//! let mut b = SystemBuilder::new("quickstart");
+//! let root = b.root_task("Main");
+//! let flag = b.num_var(root, "flag");
+//! b.internal_service(
+//!     root,
+//!     "set",
+//!     Condition::True,
+//!     Condition::eq_const(flag, Rational::from_int(1)),
+//!     SetUpdate::None,
+//! );
+//! b.internal_service(root, "idle", Condition::True, Condition::True, SetUpdate::None);
+//! let system = b.build().expect("well-formed system");
+//!
+//! // HLTL-FO property: the flag is eventually set.
+//! let mut hb = HltlBuilder::new(system.root());
+//! let set = hb.condition(Condition::eq_const(flag, Rational::from_int(1)));
+//! let property = hb.finish(set.eventually());
+//!
+//! // Verify — on one worker thread here, for reproducibility of the doc
+//! // test; any thread count produces the identical outcome.
+//! let config = VerifierConfig::default().with_threads(1);
+//! let outcome = Verifier::with_config(&system, &property, config).verify();
+//!
+//! // "F set" is violated by the run that only ever fires `idle`.
+//! assert!(!outcome.holds);
+//! let violation = outcome.violation.expect("a symbolic witness is reported");
+//! assert_eq!(violation.task, system.root());
+//! assert!(outcome.stats.control_states > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use has_arith as arith;
 pub use has_core as verifier;

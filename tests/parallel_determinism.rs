@@ -1,0 +1,137 @@
+//! The parallel determinism contract (DESIGN.md §5.6): `Verifier::verify`
+//! must produce byte-identical outcomes and statistics at every thread
+//! count, on the hand-written workloads and on randomly generated instances.
+
+use has::verifier::{Verifier, VerifierConfig};
+use has::workloads::generator::GeneratorParams;
+use has::workloads::orders::{never_enqueue_property, order_fulfilment, ship_after_quote_property};
+use has::workloads::travel::{travel_booking, travel_property, TravelVariant};
+use has_model::SchemaClass;
+use proptest::prelude::*;
+
+/// Caps matching `has_bench::fast_config` so the sweep stays quick in debug
+/// builds; the determinism contract is cap-independent.
+fn capped() -> VerifierConfig {
+    VerifierConfig {
+        max_successors: 24,
+        max_control_states: 800,
+        km_node_cap: 4_000,
+        ..VerifierConfig::default()
+    }
+}
+
+/// Runs one system/property at the given thread counts and asserts that the
+/// rendered `Outcome` (including the violation and every statistic) is
+/// byte-identical across all of them.
+fn assert_identical_across_threads(
+    label: &str,
+    system: &has::model::ArtifactSystem,
+    property: &has::ltl::HltlFormula,
+    config: VerifierConfig,
+    thread_counts: &[usize],
+) {
+    let reference = Verifier::with_config(system, property, config.clone().with_threads(1)).verify();
+    for &threads in thread_counts {
+        let outcome =
+            Verifier::with_config(system, property, config.clone().with_threads(threads)).verify();
+        assert_eq!(
+            format!("{reference:?}"),
+            format!("{outcome:?}"),
+            "{label}: outcome at threads={threads} differs from sequential"
+        );
+        assert_eq!(
+            reference.stats, outcome.stats,
+            "{label}: stats at threads={threads} differ from sequential"
+        );
+        assert_eq!(reference.holds, outcome.holds, "{label}");
+    }
+}
+
+#[test]
+fn travel_booking_is_deterministic_across_thread_counts() {
+    for variant in [TravelVariant::Buggy, TravelVariant::Fixed] {
+        let t = travel_booking(variant);
+        let property = travel_property(&t);
+        assert_identical_across_threads(
+            &format!("travel/{variant:?}"),
+            &t.system,
+            &property,
+            capped(),
+            &[2, 8],
+        );
+    }
+}
+
+#[test]
+fn order_fulfilment_is_deterministic_across_thread_counts() {
+    let o = order_fulfilment();
+    for (label, property) in [
+        ("orders/ship-after-quote", ship_after_quote_property(&o)),
+        ("orders/never-enqueue", never_enqueue_property(&o)),
+    ] {
+        assert_identical_across_threads(label, &o.system, &property, capped(), &[2, 8]);
+    }
+}
+
+/// Strategy: a small random parameter point of the Tables 1/2 generator.
+fn arb_params() -> impl Strategy<Value = GeneratorParams> {
+    (
+        prop_oneof![
+            Just(SchemaClass::Acyclic),
+            Just(SchemaClass::LinearlyCyclic),
+            Just(SchemaClass::Cyclic),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        1usize..=2,
+        1usize..=2,
+        1usize..=2,
+    )
+        .prop_map(
+            |(schema_class, artifact_relations, arithmetic, depth, width, numeric_vars)| {
+                GeneratorParams {
+                    schema_class,
+                    artifact_relations,
+                    arithmetic,
+                    depth,
+                    width,
+                    numeric_vars,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel and sequential `verify()` agree on generated instances, for
+    /// a thread count drawn alongside the instance.
+    #[test]
+    fn parallel_agrees_with_sequential_on_generated_instances(
+        params in arb_params(),
+        threads in 2usize..=6,
+    ) {
+        let generated = params.generate();
+        let config = VerifierConfig {
+            max_successors: 16,
+            max_control_states: 400,
+            km_node_cap: 2_000,
+            use_cells: params.arithmetic,
+            ..VerifierConfig::default()
+        };
+        let seq = Verifier::with_config(
+            &generated.system,
+            &generated.property,
+            config.clone().with_threads(1),
+        )
+        .verify();
+        let par = Verifier::with_config(
+            &generated.system,
+            &generated.property,
+            config.with_threads(threads),
+        )
+        .verify();
+        prop_assert_eq!(format!("{seq:?}"), format!("{par:?}"), "{}", generated.label);
+        prop_assert_eq!(seq.stats, par.stats);
+    }
+}
