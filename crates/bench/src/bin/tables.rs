@@ -114,14 +114,28 @@ fn exp_travel() {
 }
 
 /// EXP-P1 — wall-clock scaling of the parallel engine over the Tables 1/2
-/// grids. One row per thread count with the grid's total verification time
-/// and the speedup relative to the sequential engine. (On a single-core host
-/// the speedup hovers around 1.0× — the jobs timeshare one CPU.)
+/// grids plus the deep-narrow chain. One row per thread count with each
+/// workload's total verification time and the speedup relative to the
+/// sequential engine. (On a single-core host the speedups hover around
+/// 1.0× — the jobs timeshare one CPU.)
+///
+/// The `deep(d6w1)` column is the family the readiness scheduler exists
+/// for: a chain of six tasks has one task per hierarchy level, so PR 3's
+/// level barriers exposed almost no job supply per level and serialized the
+/// run; the work-stealing scheduler pipelines each task's query jobs with
+/// its parent's build instead (DESIGN.md §5.6).
 fn exp_scaling() {
     println!("== EXP-P1: parallel engine scaling — speedup vs thread count ==");
     println!(
-        "{:<10} {:>8} {:>14} {:>9} {:>14} {:>9}",
-        "threads", "workers", "table1(ms)", "speedup", "table2(ms)", "speedup"
+        "{:<10} {:>8} {:>14} {:>9} {:>14} {:>9} {:>14} {:>9}",
+        "threads",
+        "workers",
+        "table1(ms)",
+        "speedup",
+        "table2(ms)",
+        "speedup",
+        "deep(d6w1,ms)",
+        "speedup"
     );
     let grid_time = |arithmetic: bool, threads: usize| -> f64 {
         table_grid(arithmetic, threads)
@@ -130,23 +144,39 @@ fn exp_scaling() {
             .sum::<f64>()
             * 1000.0
     };
-    // Warm-up pass over both grids so first-touch effects (page faults,
+    let deep = GeneratorParams::deep_narrow(6).generate();
+    let deep_time = |threads: usize| -> f64 {
+        measure(
+            &deep.label,
+            &deep.system,
+            &deep.property,
+            fast_config().with_threads(threads),
+        )
+        .time
+        .as_secs_f64()
+            * 1000.0
+    };
+    // Warm-up pass over every workload so first-touch effects (page faults,
     // lazy allocation) do not contaminate the threads = 1 baselines.
     let _ = grid_time(false, 1);
     let _ = grid_time(true, 1);
-    let mut baseline: Option<(f64, f64)> = None;
+    let _ = deep_time(1);
+    let mut baseline: Option<(f64, f64, f64)> = None;
     for threads in [1usize, 2, 4, 8] {
         let t1 = grid_time(false, threads);
         let t2 = grid_time(true, threads);
-        let (b1, b2) = *baseline.get_or_insert((t1, t2));
+        let td = deep_time(threads);
+        let (b1, b2, bd) = *baseline.get_or_insert((t1, t2, td));
         println!(
-            "{:<10} {:>8} {:>14.1} {:>8.2}x {:>14.1} {:>8.2}x",
+            "{:<10} {:>8} {:>14.1} {:>8.2}x {:>14.1} {:>8.2}x {:>14.1} {:>8.2}x",
             threads,
             threads,
             t1,
             b1 / t1,
             t2,
-            b2 / t2
+            b2 / t2,
+            td,
+            bd / td
         );
     }
     println!();

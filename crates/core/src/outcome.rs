@@ -122,13 +122,12 @@ impl fmt::Display for Outcome {
         if self.holds {
             write!(f, "property HOLDS ({})", self.stats)
         } else {
-            let v = self.violation.as_ref();
-            write!(
-                f,
-                "property VIOLATED ({}; {})",
-                v.map(|v| v.kind.to_string()).unwrap_or_default(),
-                self.stats
-            )
+            // Without a witness there is no kind segment at all — rendering
+            // an empty one used to produce a dangling "(;".
+            match self.violation.as_ref() {
+                Some(v) => write!(f, "property VIOLATED ({}; {})", v.kind, self.stats),
+                None => write!(f, "property VIOLATED ({})", self.stats),
+            }
         }
     }
 }
@@ -199,5 +198,41 @@ mod tests {
         };
         assert!(bad.to_string().contains("VIOLATED"));
         assert!(bad.to_string().contains("lasso"));
+    }
+
+    #[test]
+    fn violated_outcome_without_witness_omits_the_kind_segment() {
+        let bad = Outcome {
+            holds: false,
+            violation: None,
+            stats: Stats::default(),
+        };
+        let rendered = bad.to_string();
+        assert_eq!(
+            rendered,
+            format!("property VIOLATED ({})", Stats::default()),
+            "no dangling separator when there is no violation witness"
+        );
+        assert!(!rendered.contains("(;"), "{rendered}");
+    }
+
+    #[test]
+    fn violation_kinds_render_distinctly() {
+        for (kind, needle) in [
+            (ViolationKind::Lasso, "lasso"),
+            (ViolationKind::Blocking, "blocking"),
+            (ViolationKind::Returning, "returning"),
+        ] {
+            let outcome = Outcome {
+                holds: false,
+                violation: Some(Violation {
+                    task: TaskId(0),
+                    kind,
+                    input_description: "x".into(),
+                }),
+                stats: Stats::default(),
+            };
+            assert!(outcome.to_string().contains(needle), "{kind:?}");
+        }
     }
 }

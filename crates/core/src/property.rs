@@ -170,6 +170,21 @@ impl PropertyContext {
         out
     }
 
+    /// The canonical `(task, β)` pair enumeration over a bottom-up task
+    /// order: tasks in the given order, assignments in β-enumeration order.
+    ///
+    /// Both engines are stated over this order — the sequential engine
+    /// simply iterates it, and the readiness scheduler indexes its job
+    /// buffers by position in it and reduces front to back — which is what
+    /// makes the determinism contract of DESIGN.md §5.6 a statement about
+    /// one fixed list rather than about scheduling.
+    pub fn pairs(&self, order: &[TaskId]) -> Vec<(TaskId, Vec<bool>)> {
+        order
+            .iter()
+            .flat_map(|&t| self.assignments(t).into_iter().map(move |b| (t, b)))
+            .collect()
+    }
+
     /// The Büchi automaton `B(T, β)` for the conjunction
     /// `⋀_{β(i)} φ_i ∧ ⋀_{¬β(i)} ¬φ_i`, built on demand and cached.
     pub fn buchi(&mut self, task: TaskId, beta: &[bool]) -> &Buchi<TaskProp> {

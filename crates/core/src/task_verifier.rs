@@ -12,11 +12,45 @@ use has_model::{
 use has_symbolic::{transfer_pattern, ProjectionKey, SymState, TaskContext};
 use has_vass::{CoverabilityGraph, Vass};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// The bottom-up store of completed task summaries the verifier threads
+/// through the hierarchy: values are reference-counted so a scheduler can
+/// publish a new snapshot per committed task (an `Arc` swap) without cloning
+/// any summary, and every [`TaskVerifier`] holds its own snapshot handle.
+pub type SummaryMap = BTreeMap<TaskId, Arc<TaskSummary>>;
+
+/// Which of Lemma 21's non-returning path kinds were witnessed by a
+/// non-returning [`RtEntry`] (`output: None`).
+///
+/// One entry can carry both: the same `(τ_in, β)` may admit a blocking run
+/// *and* an infinite local run. Returning entries leave both flags `false`.
+/// The flags ride along the tuple rather than splitting it, so the entry
+/// count (and everything downstream of it — parent explorations, `R_T`
+/// statistics) is unchanged by the classification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NonReturningWitness {
+    /// A run blocks forever on a child that never returns (the blocking
+    /// query of Lemma 21).
+    pub blocking: bool,
+    /// An infinite local run exists (the lasso query of Lemma 21).
+    pub lasso: bool,
+}
+
+impl NonReturningWitness {
+    /// Accumulates the kinds witnessed by another candidate for the same
+    /// `(τ_in, τ_out, β)` tuple.
+    pub fn merge(&mut self, other: NonReturningWitness) {
+        self.blocking |= other.blocking;
+        self.lasso |= other.lasso;
+    }
+}
 
 /// One tuple of the relation `R_T`: for runs with the given input
 /// isomorphism type and truth assignment `β` over `Φ_T`, either a returning
 /// run producing the recorded output state exists (`output = Some`), or an
-/// infinite/blocking run exists (`output = None`, the paper's `τ_out = ⊥`).
+/// infinite/blocking run exists (`output = None`, the paper's `τ_out = ⊥`,
+/// with `witness` recording which of the two kinds were found).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RtEntry {
     /// Canonical key of the input isomorphism type (projection of the
@@ -27,6 +61,19 @@ pub struct RtEntry {
     pub output: Option<SymState>,
     /// Truth assignment over `Φ_T`.
     pub beta: Vec<bool>,
+    /// For non-returning entries, the Lemma 21 path kinds witnessed.
+    pub witness: NonReturningWitness,
+}
+
+impl RtEntry {
+    /// Whether two candidates describe the same `R_T` tuple — the
+    /// deduplication key of [`TaskVerifier::reduce_queries`], which merges
+    /// the witnesses of equal tuples instead of keeping duplicates.
+    fn same_tuple(&self, other: &RtEntry) -> bool {
+        self.input_key == other.input_key
+            && self.output == other.output
+            && self.beta == other.beta
+    }
 }
 
 /// The computed `R_T` of one task, for all assignments `β`.
@@ -90,7 +137,11 @@ pub struct TaskVerifier<'a> {
     beta: Vec<bool>,
     buchi: &'a Buchi<TaskProp>,
     props: Vec<TaskProp>,
-    children: &'a BTreeMap<TaskId, TaskSummary>,
+    /// Snapshot of the completed child summaries this exploration reads.
+    /// Owned (not borrowed) so the readiness scheduler can keep a verifier
+    /// alive in shared state across its `init_queries` jobs while the
+    /// published summary map keeps moving for other tasks.
+    children: Arc<SummaryMap>,
     /// Child contexts (needed to transfer input patterns).
     child_contexts: &'a BTreeMap<TaskId, TaskContext>,
 }
@@ -106,7 +157,7 @@ impl<'a> TaskVerifier<'a> {
         beta: Vec<bool>,
         phi: &[Ltl<TaskProp>],
         buchi: &'a Buchi<TaskProp>,
-        children: &'a BTreeMap<TaskId, TaskSummary>,
+        children: Arc<SummaryMap>,
         child_contexts: &'a BTreeMap<TaskId, TaskContext>,
     ) -> Self {
         let mut props: Vec<TaskProp> = phi
@@ -916,6 +967,7 @@ impl<'a> TaskVerifier<'a> {
                     input_key: input_key.clone(),
                     output: Some(projected),
                     beta: self.beta.clone(),
+                    witness: NonReturningWitness::default(),
                 });
             }
         }
@@ -931,6 +983,10 @@ impl<'a> TaskVerifier<'a> {
                     input_key: input_key.clone(),
                     output: None,
                     beta: self.beta.clone(),
+                    witness: NonReturningWitness {
+                        blocking: true,
+                        lasso: false,
+                    },
                 });
                 break;
             }
@@ -945,6 +1001,10 @@ impl<'a> TaskVerifier<'a> {
                 input_key,
                 output: None,
                 beta: self.beta.clone(),
+                witness: NonReturningWitness {
+                    blocking: false,
+                    lasso: true,
+                },
             });
         }
         (candidates, cover.node_count())
@@ -953,7 +1013,9 @@ impl<'a> TaskVerifier<'a> {
     /// Combines per-initial-state query results — which **must** be supplied
     /// in initial-state order — into the `(T, β)` pair's final entry list and
     /// statistics, deduplicating candidates exactly as the sequential
-    /// exploration does.
+    /// exploration does: candidates for the same `(τ_in, τ_out, β)` tuple
+    /// collapse into one entry whose [`NonReturningWitness`] accumulates
+    /// every path kind witnessed for it.
     pub fn reduce_queries(
         graph: &ExploredGraph,
         per_init: impl IntoIterator<Item = (Vec<RtEntry>, usize)>,
@@ -963,8 +1025,9 @@ impl<'a> TaskVerifier<'a> {
         for (candidates, km_nodes) in per_init {
             stats.coverability_nodes += km_nodes;
             for e in candidates {
-                if !entries.contains(&e) {
-                    entries.push(e);
+                match entries.iter_mut().find(|kept| kept.same_tuple(&e)) {
+                    Some(kept) => kept.witness.merge(e.witness),
+                    None => entries.push(e),
                 }
             }
         }

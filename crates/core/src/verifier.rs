@@ -2,13 +2,17 @@
 //! model-checking answer.
 
 use crate::outcome::{Outcome, Stats, Violation, ViolationKind};
-use crate::parallel::run_indexed;
+use crate::parallel::{run_pool, WorkerHandle};
 use crate::property::PropertyContext;
-use crate::task_verifier::{ExploredGraph, RtEntry, TaskSummary, TaskVerifier};
+use crate::task_verifier::{ExploredGraph, RtEntry, SummaryMap, TaskSummary, TaskVerifier};
 use has_arith::{HcdBuilder, LinExpr};
+use has_ltl::buchi::Buchi;
+use has_ltl::hltl::TaskProp;
 use has_ltl::HltlFormula;
 use has_model::{ArtifactSystem, TaskId, VarId};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Tuning knobs of the verifier.
 ///
@@ -40,11 +44,13 @@ pub struct VerifierConfig {
     /// statistics and used to refine arithmetic atoms where possible.
     pub use_cells: bool,
     /// Number of worker threads for the `(T, β)` fan-out. `1` runs the exact
-    /// sequential code path (no threads are spawned); larger values schedule
-    /// the task hierarchy level by level and distribute each level's
-    /// `(T, β)` explorations and per-initial-state Lemma 21 queries across a
-    /// scoped worker pool. The outcome and statistics are identical at every
-    /// thread count (DESIGN.md §5.6); `0` is treated as `1`.
+    /// sequential code path (no threads are spawned); larger values run the
+    /// readiness-driven scheduler: every `(T, β)` exploration becomes ready
+    /// the moment the last of its task's children commits its summary — no
+    /// level barrier — and per-initial-state Lemma 21 queries are pushed the
+    /// moment their graph is built, all on a work-stealing scoped pool. The
+    /// outcome and statistics are identical at every thread count
+    /// (DESIGN.md §5.6); `0` is treated as `1`.
     ///
     /// Defaults to [`VerifierConfig::default_threads`].
     pub threads: usize,
@@ -125,13 +131,14 @@ impl<'a> Verifier<'a> {
     /// Returns an [`Outcome`] with the answer, a symbolic witness when the
     /// property can be violated, and exploration statistics.
     ///
-    /// With `config.threads > 1` the task hierarchy is scheduled as a
-    /// level-synchronized DAG: within a level every `(T, β)` exploration and
-    /// every per-initial-state Lemma 21 query runs on a scoped worker pool,
-    /// and all results are reduced in the fixed `(task, β, τ_in)` order —
-    /// the outcome and statistics are identical to `threads = 1`
-    /// (DESIGN.md §5.6 states the contract; `tests/parallel_determinism.rs`
-    /// enforces it).
+    /// With `config.threads > 1` the task hierarchy runs on a
+    /// readiness-driven work-stealing scheduler: each `(T, β)` exploration
+    /// starts as soon as *its* task's children have committed their
+    /// summaries (no level barrier), per-initial-state Lemma 21 queries
+    /// start as soon as their graph is built, and all results are buffered
+    /// and reduced in the fixed `(task, β, τ_in)` order — the outcome and
+    /// statistics are identical to `threads = 1` (DESIGN.md §5.6 states the
+    /// contract; `tests/parallel_determinism.rs` enforces it).
     ///
     /// # Panics
     /// Panics if the property fails validation against the system.
@@ -174,15 +181,30 @@ impl<'a> Verifier<'a> {
                 violation: None,
                 stats,
             },
-            Some(entry) => Outcome {
-                holds: false,
-                violation: Some(Violation {
-                    task: root_task,
-                    kind: ViolationKind::Lasso,
-                    input_description: format!("input isomorphism type {:?}", entry.input_key),
-                }),
-                stats,
-            },
+            Some(entry) => {
+                // The Lemma 21 path kind of the witnessing entry: an
+                // infinite local run when one exists, otherwise the run
+                // blocks on a never-returning child. (Every non-returning
+                // entry carries at least one of the two witnesses.)
+                debug_assert!(entry.witness.lasso || entry.witness.blocking);
+                let kind = if entry.witness.lasso {
+                    ViolationKind::Lasso
+                } else {
+                    ViolationKind::Blocking
+                };
+                Outcome {
+                    holds: false,
+                    violation: Some(Violation {
+                        task: root_task,
+                        kind,
+                        input_description: format!(
+                            "input isomorphism type {:?}",
+                            entry.input_key
+                        ),
+                    }),
+                    stats,
+                }
+            }
         }
     }
 
@@ -208,14 +230,10 @@ impl<'a> Verifier<'a> {
     /// bottom-up task order, each immediately followed by its Lemma 21
     /// queries. This is the `threads = 1` code path — no worker threads are
     /// spawned anywhere.
-    fn run_sequential(
-        &self,
-        pc: &PropertyContext,
-        order: &[TaskId],
-    ) -> (BTreeMap<TaskId, TaskSummary>, Stats) {
+    fn run_sequential(&self, pc: &PropertyContext, order: &[TaskId]) -> (SummaryMap, Stats) {
         let contexts = &*pc.contexts;
         let mut stats = Stats::default();
-        let mut summaries: BTreeMap<TaskId, TaskSummary> = BTreeMap::new();
+        let mut summaries: Arc<SummaryMap> = Arc::new(SummaryMap::new());
         for &task in order {
             let mut summary = TaskSummary::default();
             for beta in pc.assignments(task) {
@@ -225,144 +243,291 @@ impl<'a> Verifier<'a> {
                     &self.config,
                     &contexts[&task],
                     task,
-                    beta,
+                    beta.clone(),
                     pc.phi(task),
                     &buchi,
-                    &summaries,
+                    Arc::clone(&summaries),
                     contexts,
                 );
                 let (entries, task_stats) = tv.explore();
-                self.debug_pair(task, &entries, &task_stats);
+                self.debug_pair(task, &beta, &entries, &task_stats);
                 stats.absorb(&task_stats);
                 summary.entries.extend(entries);
             }
-            summaries.insert(task, summary);
+            // Same commit the scheduler performs: shallow-clone the map (the
+            // summaries themselves are shared), add the finished task, swap.
+            let mut map = (*summaries).clone();
+            map.insert(task, Arc::new(summary));
+            summaries = Arc::new(map);
         }
-        (summaries, stats)
+        (
+            Arc::try_unwrap(summaries).unwrap_or_else(|shared| (*shared).clone()),
+            stats,
+        )
     }
 
-    /// The parallel engine: the hierarchy is scheduled level by level
-    /// (children strictly before parents, sibling tasks concurrent), and
-    /// within a level two waves of jobs are fanned out over a scoped worker
-    /// pool — first one [`TaskVerifier::build_graph`] job per `(T, β)` pair,
-    /// then one [`TaskVerifier::init_queries`] job per `(T, β, τ_in)`
-    /// triple. Workers only *read* shared state (the system, the property
-    /// context, the previous levels' summaries); all results are reduced on
-    /// the calling thread in the fixed `(task, β, τ_in)` order, which makes
-    /// the outcome independent of scheduling (DESIGN.md §5.6).
+    /// The parallel engine: a readiness-driven scheduler over two kinds of
+    /// work items — `BuildGraph(T, β)` (one [`TaskVerifier::build_graph`]
+    /// forward exploration) and `InitQuery(T, β, τ_in)` (the Lemma 21
+    /// queries of one initial state) — on a work-stealing scoped pool
+    /// ([`crate::parallel::run_pool`]). There is **no barrier between
+    /// hierarchy levels**:
+    ///
+    /// * every task tracks its unfinished-children count, and all of its
+    ///   `(T, β)` build jobs are pushed the moment the *last* child commits
+    ///   its summary — sibling subtrees proceed independently, so a deep,
+    ///   narrow hierarchy keeps every worker busy;
+    /// * the query jobs of a built graph are pushed immediately, while
+    ///   sibling graphs are still building.
+    ///
+    /// Workers only *read* shared state: the committed summaries live behind
+    /// an `Arc` that is shallow-cloned and swapped on each task commit, so a
+    /// `BuildGraph` job snapshots the map without copying any summary.
+    /// Results are buffered per `(T, β)` slot and per initial state, reduced
+    /// in the canonical `(task, β, τ_in)` order, and committed to the
+    /// summary map in β-enumeration order — which keeps the outcome
+    /// independent of scheduling (DESIGN.md §5.6).
     fn run_parallel(
         &self,
         pc: &PropertyContext,
         order: &[TaskId],
         threads: usize,
-    ) -> (BTreeMap<TaskId, TaskSummary>, Stats) {
+    ) -> (SummaryMap, Stats) {
         let schema = &self.system.schema;
         let contexts = &*pc.contexts;
-        let mut stats = Stats::default();
-        let mut summaries: BTreeMap<TaskId, TaskSummary> = BTreeMap::new();
 
-        // Height of each task above the leaves; tasks of equal height are
-        // independent of each other once every lower level is summarized.
-        let mut height: BTreeMap<TaskId, usize> = BTreeMap::new();
-        for &t in order {
-            let h = schema
-                .task(t)
-                .children
-                .iter()
-                .map(|c| height[c] + 1)
-                .max()
-                .unwrap_or(0);
-            height.insert(t, h);
+        // Canonical pair enumeration: tasks in bottom-up order, assignments
+        // in β-enumeration order. Every buffer below is indexed by position
+        // in this list, and the final reduction walks it front to back.
+        let pairs: Vec<(TaskId, Vec<bool>)> = pc.pairs(order);
+        let buchis: Vec<Arc<Buchi<TaskProp>>> = pairs
+            .iter()
+            .map(|(t, b)| pc.buchi_shared(*t, b))
+            .collect();
+        let mut task_pairs: BTreeMap<TaskId, Vec<usize>> = BTreeMap::new();
+        for (p, (t, _)) in pairs.iter().enumerate() {
+            task_pairs.entry(*t).or_default().push(p);
         }
-        let max_height = height.values().copied().max().unwrap_or(0);
 
-        for level in 0..=max_height {
-            let level_tasks: Vec<TaskId> = order
-                .iter()
-                .copied()
-                .filter(|t| height[t] == level)
-                .collect();
-            // Deterministic job order: tasks in bottom-up order, assignments
-            // in β-enumeration order.
-            let pairs: Vec<(TaskId, Vec<bool>)> = level_tasks
-                .iter()
-                .flat_map(|&t| pc.assignments(t).into_iter().map(move |b| (t, b)))
-                .collect();
-            let buchis: Vec<_> = pairs
-                .iter()
-                .map(|(t, b)| pc.buchi_shared(*t, b))
-                .collect();
-            let verifiers: Vec<TaskVerifier> = pairs
-                .iter()
-                .zip(&buchis)
-                .map(|((task, beta), buchi)| {
-                    TaskVerifier::new(
-                        self.system,
-                        &self.config,
-                        &contexts[task],
-                        *task,
-                        beta.clone(),
-                        pc.phi(*task),
-                        buchi,
-                        &summaries,
-                        contexts,
-                    )
+        // Readiness table: per task, how many children have not committed
+        // yet (build jobs are released when this hits zero) and how many of
+        // its own pairs are still unreduced (the summary commits when this
+        // hits zero).
+        let pending_children: BTreeMap<TaskId, AtomicUsize> = order
+            .iter()
+            .map(|&t| (t, AtomicUsize::new(schema.task(t).children.len())))
+            .collect();
+        let remaining_pairs: BTreeMap<TaskId, AtomicUsize> = task_pairs
+            .iter()
+            .map(|(&t, ps)| (t, AtomicUsize::new(ps.len())))
+            .collect();
+
+        // Committed summaries, swapped wholesale on each task commit; a
+        // build job clones the Arc (not the map) to snapshot every child it
+        // can ever look up.
+        let committed: Mutex<Arc<SummaryMap>> = Mutex::new(Arc::new(SummaryMap::new()));
+
+        // A built pair waiting for its queries: the verifier is kept alive
+        // (it owns the summary snapshot its graph was built against) and the
+        // graph is read-only, so query jobs share both through an Arc.
+        struct PairRuntime<'a> {
+            verifier: TaskVerifier<'a>,
+            graph: ExploredGraph,
+        }
+        // A pair's reduced result. `entries` is *moved* into the task
+        // summary when the task commits (leaving this empty), so the entry
+        // list exists once; the counts stay behind for the deterministic
+        // post-pool debug trace.
+        struct ReducedPair {
+            entries: Vec<RtEntry>,
+            stats: Stats,
+            total: usize,
+            returning: usize,
+        }
+        // Ordered-reduction buffer of one (T, β) pair.
+        struct PairState<'a> {
+            runtime: Option<Arc<PairRuntime<'a>>>,
+            results: Vec<Option<(Vec<RtEntry>, usize)>>,
+            remaining: usize,
+            reduced: Option<ReducedPair>,
+        }
+        let pair_states: Vec<Mutex<PairState<'_>>> = pairs
+            .iter()
+            .map(|_| {
+                Mutex::new(PairState {
+                    runtime: None,
+                    results: Vec::new(),
+                    remaining: 0,
+                    reduced: None,
                 })
-                .collect();
+            })
+            .collect();
 
-            // Wave 1: forward exploration, one job per (T, β).
-            let graphs: Vec<ExploredGraph> =
-                run_indexed(threads, verifiers.len(), |i| verifiers[i].build_graph());
-
-            // Wave 2: Lemma 21 queries, one job per (T, β, τ_in).
-            let jobs: Vec<(usize, usize)> = graphs
-                .iter()
-                .enumerate()
-                .flat_map(|(pair, g)| (0..g.initial_count()).map(move |pos| (pair, pos)))
-                .collect();
-            let query_results: Vec<(Vec<RtEntry>, usize)> =
-                run_indexed(threads, jobs.len(), |i| {
-                    let (pair, pos) = jobs[i];
-                    verifiers[pair].init_queries(&graphs[pair], pos)
-                });
-
-            // Ordered reduction: per pair (in job order), per initial state
-            // (in enumeration order) — byte-identical to the sequential run.
-            let mut results = query_results.into_iter();
-            for ((task, _beta), graph) in pairs.iter().zip(&graphs) {
-                let per_init: Vec<(Vec<RtEntry>, usize)> =
-                    results.by_ref().take(graph.initial_count()).collect();
-                let (entries, task_stats) = TaskVerifier::reduce_queries(graph, per_init);
-                self.debug_pair(*task, &entries, &task_stats);
-                stats.absorb(&task_stats);
-                summaries
-                    .entry(*task)
-                    .or_default()
-                    .entries
-                    .extend(entries);
-            }
-            // Tasks whose every (T, β) produced no entries still need a
-            // (default) summary so parents can look them up.
-            for &t in &level_tasks {
-                summaries.entry(t).or_default();
-            }
+        #[derive(Clone, Copy)]
+        enum Job {
+            /// Forward exploration of one `(T, β)` pair (by pair index).
+            Build(usize),
+            /// Lemma 21 queries of one `(T, β, τ_in)` (pair index, τ_in
+            /// position).
+            Query(usize, usize),
         }
-        (summaries, stats)
+
+        // Records a pair's reduced result; when it was the task's last pair,
+        // commits the task summary (pairs concatenated in β order — the
+        // sequential layout) and releases the parent's builds if this task
+        // was its last unfinished child.
+        let commit_pair =
+            |p: usize, (entries, stats): (Vec<RtEntry>, Stats), handle: &WorkerHandle<'_, Job>| {
+                let task = pairs[p].0;
+                let reduced = ReducedPair {
+                    total: entries.len(),
+                    returning: entries.iter().filter(|e| e.output.is_some()).count(),
+                    entries,
+                    stats,
+                };
+                pair_states[p].lock().expect("pair state poisoned").reduced = Some(reduced);
+                if remaining_pairs[&task].fetch_sub(1, Ordering::SeqCst) != 1 {
+                    return;
+                }
+                let mut summary = TaskSummary::default();
+                for &q in &task_pairs[&task] {
+                    let mut state = pair_states[q].lock().expect("pair state poisoned");
+                    let reduced = state.reduced.as_mut().expect("pair reduced");
+                    summary.entries.append(&mut reduced.entries);
+                }
+                {
+                    let mut shared = committed.lock().expect("summary map poisoned");
+                    let mut map = (**shared).clone();
+                    map.insert(task, Arc::new(summary));
+                    *shared = Arc::new(map);
+                }
+                if let Some(parent) = schema.task(task).parent {
+                    if pending_children[&parent].fetch_sub(1, Ordering::SeqCst) == 1 {
+                        for &q in &task_pairs[&parent] {
+                            handle.push(Job::Build(q));
+                        }
+                    }
+                }
+            };
+
+        // Seed: the leaves' build jobs, in canonical order.
+        let seeds: Vec<Job> = order
+            .iter()
+            .filter(|&&t| schema.task(t).children.is_empty())
+            .flat_map(|t| task_pairs[t].iter().copied().map(Job::Build))
+            .collect();
+
+        run_pool(threads, seeds, |job, handle| match job {
+            Job::Build(p) => {
+                let (task, beta) = &pairs[p];
+                let snapshot = committed.lock().expect("summary map poisoned").clone();
+                let verifier = TaskVerifier::new(
+                    self.system,
+                    &self.config,
+                    &contexts[task],
+                    *task,
+                    beta.clone(),
+                    pc.phi(*task),
+                    &buchis[p],
+                    snapshot,
+                    contexts,
+                );
+                let graph = verifier.build_graph();
+                let inits = graph.initial_count();
+                if inits == 0 {
+                    let reduced = TaskVerifier::reduce_queries(&graph, std::iter::empty());
+                    commit_pair(p, reduced, handle);
+                    return;
+                }
+                {
+                    let mut state = pair_states[p].lock().expect("pair state poisoned");
+                    state.results = vec![None; inits];
+                    state.remaining = inits;
+                    state.runtime = Some(Arc::new(PairRuntime { verifier, graph }));
+                }
+                for pos in 0..inits {
+                    handle.push(Job::Query(p, pos));
+                }
+            }
+            Job::Query(p, pos) => {
+                let runtime = pair_states[p]
+                    .lock()
+                    .expect("pair state poisoned")
+                    .runtime
+                    .clone()
+                    .expect("graph is built before its queries are pushed");
+                let result = runtime.verifier.init_queries(&runtime.graph, pos);
+                let reduced = {
+                    let mut state = pair_states[p].lock().expect("pair state poisoned");
+                    state.results[pos] = Some(result);
+                    state.remaining -= 1;
+                    if state.remaining == 0 {
+                        let runtime = state.runtime.take().expect("runtime set until last query");
+                        let per_init: Vec<(Vec<RtEntry>, usize)> = state
+                            .results
+                            .drain(..)
+                            .map(|r| r.expect("every query filled its slot"))
+                            .collect();
+                        Some(TaskVerifier::reduce_queries(&runtime.graph, per_init))
+                    } else {
+                        None
+                    }
+                };
+                if let Some(reduced) = reduced {
+                    commit_pair(p, reduced, handle);
+                }
+            }
+        });
+
+        // Deterministic aggregation: walk the canonical pair order, exactly
+        // as the sequential engine absorbed and traced its pairs.
+        let mut stats = Stats::default();
+        for (p, state) in pair_states.into_iter().enumerate() {
+            let state = state.into_inner().expect("pair state poisoned");
+            let reduced = state.reduced.expect("scheduler reduced every pair");
+            let (task, beta) = &pairs[p];
+            self.debug_pair_counts(*task, beta, reduced.total, reduced.returning, &reduced.stats);
+            stats.absorb(&reduced.stats);
+        }
+        let summaries = committed.into_inner().expect("summary map poisoned");
+        (
+            Arc::try_unwrap(summaries).unwrap_or_else(|shared| (*shared).clone()),
+            stats,
+        )
     }
 
-    /// `HAS_VERIFIER_DEBUG` trace line for one reduced `(T, β)` pair.
-    fn debug_pair(&self, task: TaskId, entries: &[crate::task_verifier::RtEntry], stats: &Stats) {
-        if std::env::var("HAS_VERIFIER_DEBUG").is_ok() {
-            let returning = entries.iter().filter(|e| e.output.is_some()).count();
-            eprintln!(
-                "[has-core] task {} beta {:?}: {} entries ({} returning), {}",
-                self.system.schema.task(task).name,
-                tv_beta_for_debug(entries),
-                entries.len(),
-                returning,
-                stats
-            );
+    /// `HAS_VERIFIER_DEBUG` trace line for one reduced `(T, β)` pair. The β
+    /// is the pair's actual assignment (it used to be recovered from the
+    /// first entry, which traced an empty β for entry-less pairs), and the
+    /// variable is treated as a switch: unset, empty, or `0` disables the
+    /// trace.
+    fn debug_pair(&self, task: TaskId, beta: &[bool], entries: &[RtEntry], stats: &Stats) {
+        let returning = entries.iter().filter(|e| e.output.is_some()).count();
+        self.debug_pair_counts(task, beta, entries.len(), returning, stats);
+    }
+
+    /// [`Verifier::debug_pair`] with the counts precomputed — the parallel
+    /// engine moves a pair's entries into the task summary at commit time
+    /// and keeps only these counts for the post-pool trace.
+    fn debug_pair_counts(
+        &self,
+        task: TaskId,
+        beta: &[bool],
+        entries: usize,
+        returning: usize,
+        stats: &Stats,
+    ) {
+        if !verifier_debug_enabled() {
+            return;
         }
+        eprintln!(
+            "[has-core] task {} beta {:?}: {} entries ({} returning), {}",
+            self.system.schema.task(task).name,
+            beta,
+            entries,
+            returning,
+            stats
+        );
     }
 
     /// Builds the Hierarchical Cell Decomposition induced by the arithmetic
@@ -403,8 +568,16 @@ impl<'a> Verifier<'a> {
     }
 }
 
-fn tv_beta_for_debug(entries: &[crate::task_verifier::RtEntry]) -> Vec<bool> {
-    entries.first().map(|e| e.beta.clone()).unwrap_or_default()
+/// Whether `HAS_VERIFIER_DEBUG` requests the per-pair trace: set to any
+/// non-empty value other than `0`. (`is_ok()` alone would treat
+/// `HAS_VERIFIER_DEBUG=0` — the conventional "off" — as on.)
+fn verifier_debug_enabled() -> bool {
+    std::env::var("HAS_VERIFIER_DEBUG")
+        .map(|value| {
+            let value = value.trim();
+            !value.is_empty() && value != "0"
+        })
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -458,7 +631,43 @@ mod tests {
         let property = hb.finish(set.eventually());
         let outcome = Verifier::new(&system, &property).verify();
         assert!(!outcome.holds, "{outcome}");
-        assert!(outcome.violation.is_some());
+        // The idle self-loop is an infinite local run of the root.
+        assert_eq!(outcome.violation.expect("witness").kind, ViolationKind::Lasso);
+    }
+
+    /// Regression for the root-violation misclassification: the root below
+    /// has no internal services and immediately opens a child whose closing
+    /// condition is unreachable, so its *only* violating run blocks forever
+    /// on the never-returning child — the reported kind must be `Blocking`,
+    /// not the formerly hardcoded `Lasso`.
+    #[test]
+    fn blocking_on_a_never_returning_child_reports_blocking() {
+        let mut b = SystemBuilder::new("blocking");
+        let root = b.root_task("Main");
+        let ret = b.num_var(root, "ret");
+        let child = b.child_task(root, "Child");
+        let cflag = b.num_var(child, "cflag");
+        // The child spins forever: its only service keeps the flag at 0 and
+        // its closing condition demands 1.
+        b.internal_service(
+            child,
+            "spin",
+            Condition::True,
+            Condition::eq_const(cflag, has_arith::Rational::ZERO),
+            SetUpdate::None,
+        );
+        b.close_when(child, Condition::eq_const(cflag, has_arith::Rational::from_int(1)));
+        b.map_output(child, ret, cflag);
+        let system = b.build().unwrap();
+
+        let mut hb = HltlBuilder::new(system.root());
+        let done = hb.condition(Condition::eq_const(ret, has_arith::Rational::from_int(1)));
+        let property = hb.finish(done.eventually());
+        let outcome = Verifier::new(&system, &property).verify();
+        assert!(!outcome.holds, "{outcome}");
+        let violation = outcome.violation.as_ref().expect("witness");
+        assert_eq!(violation.kind, ViolationKind::Blocking, "{outcome}");
+        assert!(outcome.to_string().contains("blocking run"), "{outcome}");
     }
 
     #[test]

@@ -64,6 +64,25 @@ pub struct GeneratedSystem {
 }
 
 impl GeneratorParams {
+    /// The `depth ≫ width` stress family: a single chain of `depth` tasks
+    /// (width 1, no artifact relations or arithmetic, acyclic schema).
+    ///
+    /// This shape is the scheduling worst case for a level-synchronized
+    /// engine — every hierarchy level holds exactly one task, so level
+    /// barriers serialize the whole run — which is what makes it the
+    /// reference instance for the readiness-scheduler experiments (EXP-P1's
+    /// deep-narrow row) and the deep-narrow determinism regression test.
+    pub fn deep_narrow(depth: usize) -> GeneratorParams {
+        GeneratorParams {
+            schema_class: SchemaClass::Acyclic,
+            depth,
+            width: 1,
+            numeric_vars: 1,
+            artifact_relations: false,
+            arithmetic: false,
+        }
+    }
+
     /// A short label describing the parameter point.
     pub fn label(&self) -> String {
         format!(
@@ -301,6 +320,15 @@ mod tests {
         let g = params.generate();
         assert_eq!(g.system.schema.depth(), 3);
         assert_eq!(g.system.schema.task_count(), 1 + 2 + 4);
+    }
+
+    #[test]
+    fn deep_narrow_builds_a_chain() {
+        let g = GeneratorParams::deep_narrow(6).generate();
+        assert_eq!(g.system.schema.depth(), 6);
+        // One task per level: a pure chain.
+        assert_eq!(g.system.schema.task_count(), 6);
+        assert!(g.property.validate(&g.system).is_ok(), "{}", g.label);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! use has::arith::Rational;
 //! use has::ltl::hltl::HltlBuilder;
 //! use has::model::{Condition, SetUpdate, SystemBuilder};
-//! use has::verifier::{Verifier, VerifierConfig};
+//! use has::verifier::{Verifier, VerifierConfig, ViolationKind};
 //!
 //! // A system with one task, one numeric flag, and two services.
 //! let mut b = SystemBuilder::new("quickstart");
@@ -56,6 +56,8 @@
 //! assert!(!outcome.holds);
 //! let violation = outcome.violation.expect("a symbolic witness is reported");
 //! assert_eq!(violation.task, system.root());
+//! // The witnessing run is an infinite local loop — Lemma 21's lasso kind.
+//! assert_eq!(violation.kind, ViolationKind::Lasso);
 //! assert!(outcome.stats.control_states > 0);
 //! ```
 

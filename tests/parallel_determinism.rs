@@ -62,6 +62,24 @@ fn travel_booking_is_deterministic_across_thread_counts() {
     }
 }
 
+/// The scheduling worst case for the old level-synchronized engine: a chain
+/// of six tasks has exactly one task per hierarchy level, so level barriers
+/// serialized everything. The readiness scheduler pipelines the chain — and
+/// must still produce byte-identical outcomes at every thread count. (CI
+/// runs this test binary under a timeout so a scheduler deadlock on this
+/// shape fails fast instead of hanging the job.)
+#[test]
+fn deep_narrow_chain_is_deterministic_across_thread_counts() {
+    let generated = GeneratorParams::deep_narrow(6).generate();
+    assert_identical_across_threads(
+        &generated.label,
+        &generated.system,
+        &generated.property,
+        capped(),
+        &[1, 2, 8],
+    );
+}
+
 #[test]
 fn order_fulfilment_is_deterministic_across_thread_counts() {
     let o = order_fulfilment();
@@ -83,7 +101,9 @@ fn arb_params() -> impl Strategy<Value = GeneratorParams> {
         ],
         any::<bool>(),
         any::<bool>(),
-        1usize..=2,
+        // Depth up to 3 so the work-stealing scheduler sees multi-level
+        // readiness chains (not just leaf + root) on generated instances.
+        1usize..=3,
         1usize..=2,
         1usize..=2,
     )
