@@ -22,9 +22,34 @@
 //!   projection of cells.
 //! * [`hcd`] — the Hierarchical Cell Decomposition of Section 5 / Appendix D,
 //!   computed bottom-up along a task hierarchy.
+//!
+//! # Worked example
+//!
+//! Decide satisfiability over ℚ with Fourier–Motzkin, then solve a small
+//! feasibility program with the exact simplex (the engine behind the
+//! circulation-based lasso queries of `has-vass`):
+//!
+//! ```
+//! use has_arith::{is_satisfiable, LinExpr, LinearConstraint, LpCmp, LpProblem, Rational};
+//!
+//! // x < y together with x ≥ y is unsatisfiable; either half alone is fine.
+//! let x = LinExpr::var("x");
+//! let y = LinExpr::var("y");
+//! let lt = LinearConstraint::lt(x.clone(), y.clone());
+//! let ge = LinearConstraint::ge(x, y);
+//! assert!(!is_satisfiable(&[lt.clone(), ge]));
+//! assert!(is_satisfiable(&[lt]));
+//!
+//! // Simplex over non-negative variables: x₀ + x₁ = 1 and x₀ − x₁ ≥ 1
+//! // admit exactly the point (1, 0).
+//! let mut lp = LpProblem::new(2);
+//! lp.add_constraint(&[(0, Rational::ONE), (1, Rational::ONE)], LpCmp::Eq, Rational::ONE);
+//! lp.add_constraint(&[(0, Rational::ONE), (1, -Rational::ONE)], LpCmp::Ge, Rational::ONE);
+//! assert_eq!(lp.feasible_point(), Some(vec![Rational::ONE, Rational::ZERO]));
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cells;
 pub mod fm;

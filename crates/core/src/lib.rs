@@ -44,6 +44,6 @@ pub mod property;
 pub mod task_verifier;
 pub mod verifier;
 
-pub use outcome::{Outcome, Stats, Violation, ViolationKind};
+pub use outcome::{Outcome, Stats, Violation, ViolationKind, WitnessNode, WitnessStep};
 pub use property::PropertyContext;
 pub use verifier::{Verifier, VerifierConfig};

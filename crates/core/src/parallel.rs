@@ -20,7 +20,10 @@
 //! Determinism note: the pool itself promises nothing about execution order.
 //! The engine's determinism contract is restored above it by buffering every
 //! result into a slot keyed by its canonical `(task, β, τ_in)` position and
-//! reducing in that order (DESIGN.md §5.6).
+//! reducing in that order (DESIGN.md §5.6). This covers witness retention
+//! for free: the retained run details of DESIGN.md §5.7 travel *inside* the
+//! buffered `RtEntry` values, so the reconstructed counterexample inherits
+//! the same thread-count independence without any pool-level support.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

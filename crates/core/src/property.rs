@@ -177,7 +177,10 @@ impl PropertyContext {
     /// simply iterates it, and the readiness scheduler indexes its job
     /// buffers by position in it and reduces front to back — which is what
     /// makes the determinism contract of DESIGN.md §5.6 a statement about
-    /// one fixed list rather than about scheduling.
+    /// one fixed list rather than about scheduling. Witness reconstruction
+    /// (§5.7) leans on the same order twice over: retained run details are
+    /// reduced with their entries, and the descent reads the committed
+    /// summary layout this order fixes.
     pub fn pairs(&self, order: &[TaskId]) -> Vec<(TaskId, Vec<bool>)> {
         order
             .iter()

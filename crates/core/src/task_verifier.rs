@@ -1,7 +1,7 @@
 //! Per-task symbolic exploration: construction of the VASS `V(T, β)` and
 //! computation of the relation `R_T` (Section 4.2, Lemma 21).
 
-use crate::outcome::Stats;
+use crate::outcome::{Stats, WitnessStep};
 use crate::verifier::VerifierConfig;
 use has_ltl::buchi::{Buchi, BuchiState};
 use has_ltl::hltl::TaskProp;
@@ -10,7 +10,7 @@ use has_model::{
     ArtifactSystem, Condition, ServiceRef, TaskId, VarId, VarSort,
 };
 use has_symbolic::{transfer_pattern, ProjectionKey, SymState, TaskContext};
-use has_vass::{CoverabilityGraph, Vass};
+use has_vass::{CoverabilityGraph, CycleSearch, Vass};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
@@ -46,6 +46,40 @@ impl NonReturningWitness {
     }
 }
 
+/// The retained Lemma 21 query structure of one [`RtEntry`]: a rendered
+/// realization of the entry's run, kept only when
+/// [`VerifierConfig::witnesses`] is enabled so the no-witness hot path pays
+/// no extra allocations.
+///
+/// The steps carry everything witness reconstruction needs to *descend*:
+/// each [`WitnessStep::OpenChild`] records the child `R_T` tuple the run
+/// chose (input key, output, β), which identifies the child entry — and
+/// therefore the child's own retained details — in the committed summaries.
+/// The details ride inside the entry through the parallel engine's
+/// ordered-reduction buffers, so the reconstructed counterexample inherits
+/// the determinism contract of DESIGN.md §5.6 unchanged (see §5.7).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntryDetails {
+    /// Steps from the initial state to the distinguished point: the closing
+    /// step (returning), the blocking state (blocking), or the pump cycle's
+    /// entry node (lasso).
+    pub prefix: Vec<WitnessStep>,
+    /// The pump cycle of a lasso run (closed, componentwise non-negative
+    /// counter effect); empty for the other kinds.
+    pub cycle: Vec<WitnessStep>,
+    /// A lasso whose pump cycle exceeded the materialization cap
+    /// ([`WITNESS_CYCLE_CAP`]): the run is still a proven lasso, only the
+    /// explicit cycle rendering is unavailable.
+    pub cycle_truncated: bool,
+}
+
+/// Cap on the number of edge traversals a materialized pump cycle may take:
+/// the circulation witness is scaled to integers and walked as an Eulerian
+/// circuit, whose length is the scaled total flow — exact but potentially
+/// large, so rendering degrades gracefully past this bound
+/// (`EntryDetails::cycle_truncated`) while the lasso *decision* stays exact.
+pub const WITNESS_CYCLE_CAP: usize = 4_096;
+
 /// One tuple of the relation `R_T`: for runs with the given input
 /// isomorphism type and truth assignment `β` over `Φ_T`, either a returning
 /// run producing the recorded output state exists (`output = Some`), or an
@@ -63,6 +97,10 @@ pub struct RtEntry {
     pub beta: Vec<bool>,
     /// For non-returning entries, the Lemma 21 path kinds witnessed.
     pub witness: NonReturningWitness,
+    /// Retained run realization for witness reconstruction (`None` unless
+    /// [`VerifierConfig::witnesses`] is enabled). Not part of the tuple's
+    /// deduplication identity; shared by `Arc` so entry clones stay cheap.
+    pub details: Option<Arc<EntryDetails>>,
 }
 
 impl RtEntry {
@@ -687,6 +725,11 @@ impl<'a> TaskVerifier<'a> {
         let mut transitions: Vec<(usize, BTreeMap<usize, i64>, usize)> = Vec::new();
         let mut initial_states: Vec<usize> = Vec::new();
         let mut input_keys: Vec<ProjectionKey> = Vec::new();
+        // Witness retention: one rendered step label per transition (and per
+        // VASS action, since actions are created in transition order). Gated
+        // so the no-witness hot path allocates nothing here.
+        let retain = self.config.witnesses;
+        let mut labels: Vec<WitnessStep> = Vec::new();
 
         let intern = |state: CState,
                           states: &mut Vec<CState>,
@@ -794,6 +837,11 @@ impl<'a> TaskVerifier<'a> {
                                 };
                                 let nid = intern(next, &mut states, &mut index);
                                 transitions.push((id, delta.clone(), nid));
+                                if retain {
+                                    labels.push(WitnessStep::Internal {
+                                        service: service.name.clone(),
+                                    });
+                                }
                                 if seen_in_worklist.insert(nid) {
                                     worklist.push_back(nid);
                                 }
@@ -834,6 +882,15 @@ impl<'a> TaskVerifier<'a> {
                             };
                             let nid = intern(next, &mut states, &mut index);
                             transitions.push((id, BTreeMap::new(), nid));
+                            if retain {
+                                labels.push(WitnessStep::OpenChild {
+                                    child,
+                                    child_name: schema.task(child).name.clone(),
+                                    beta: entry.beta.clone(),
+                                    input_key: child_key.clone(),
+                                    output: entry.output.clone(),
+                                });
+                            }
                             if seen_in_worklist.insert(nid) {
                                 worklist.push_back(nid);
                             }
@@ -862,6 +919,12 @@ impl<'a> TaskVerifier<'a> {
                         };
                         let nid = intern(next, &mut states, &mut index);
                         transitions.push((id, BTreeMap::new(), nid));
+                        if retain {
+                            labels.push(WitnessStep::CloseChild {
+                                child,
+                                child_name: schema.task(child).name.clone(),
+                            });
+                        }
                         if seen_in_worklist.insert(nid) {
                             worklist.push_back(nid);
                         }
@@ -886,6 +949,9 @@ impl<'a> TaskVerifier<'a> {
                         };
                         let nid = intern(next, &mut states, &mut index);
                         transitions.push((id, BTreeMap::new(), nid));
+                        if retain {
+                            labels.push(WitnessStep::CloseTask);
+                        }
                         // Closed states have no successors; no need to enqueue.
                     }
                 }
@@ -934,6 +1000,7 @@ impl<'a> TaskVerifier<'a> {
             accepting,
             out_vars,
             stats,
+            labels,
         }
     }
 
@@ -955,11 +1022,33 @@ impl<'a> TaskVerifier<'a> {
         let mut candidates: Vec<RtEntry> = Vec::new();
         let finite_ok = |s: &CState| self.buchi.finite_accepting().contains(&s.q);
 
+        // Witness retention: the run realization of a candidate is the label
+        // sequence of its Karp–Miller path (actions and transitions share
+        // indices, so a path's action list indexes straight into the labels
+        // recorded by `build_graph`).
+        let retain = self.config.witnesses;
+        let steps_to = |node: usize| -> Vec<WitnessStep> {
+            cover
+                .path_to_node(node)
+                .into_iter()
+                .map(|action| graph.labels[action].clone())
+                .collect()
+        };
+        let point_details = |node: usize| -> Option<Arc<EntryDetails>> {
+            retain.then(|| {
+                Arc::new(EntryDetails {
+                    prefix: steps_to(node),
+                    cycle: Vec::new(),
+                    cycle_truncated: false,
+                })
+            })
+        };
+
         // Returning paths. The recorded output is the closing state
         // projected onto the variables the parent can observe (the input
         // and return variables) — the paper's τ_out — which also keeps
         // the number of distinct R_T entries small.
-        for node in cover.nodes() {
+        for (node_id, node) in cover.nodes().enumerate() {
             let cs = &states[node.state];
             if cs.closed && finite_ok(cs) {
                 let projected = self.project_output(&cs.sym, &graph.out_vars);
@@ -968,11 +1057,12 @@ impl<'a> TaskVerifier<'a> {
                     output: Some(projected),
                     beta: self.beta.clone(),
                     witness: NonReturningWitness::default(),
+                    details: point_details(node_id),
                 });
             }
         }
         // Blocking paths: a child was opened with a never-returning run.
-        for node in cover.nodes() {
+        for (node_id, node) in cover.nodes().enumerate() {
             let cs = &states[node.state];
             let blocking_child = cs
                 .children
@@ -987,25 +1077,66 @@ impl<'a> TaskVerifier<'a> {
                         blocking: true,
                         lasso: false,
                     },
+                    details: point_details(node_id),
                 });
                 break;
             }
         }
         // Lasso paths — decided exactly; no cycle-length bound applies
         // (the former `lasso_cycle_bound` config under-approximated this
-        // query and could miss violations).
-        if !graph.accepting.is_empty()
-            && cover.nonneg_cycle_through_pred(&graph.vass, &|s| graph.accepting.contains(&s))
-        {
-            candidates.push(RtEntry {
-                input_key,
-                output: None,
-                beta: self.beta.clone(),
-                witness: NonReturningWitness {
-                    blocking: false,
-                    lasso: true,
-                },
-            });
+        // query and could miss violations). With retention on, the decision
+        // and the pump-cycle materialization come from one pipeline run
+        // (`nonneg_cycle_search_through_pred`): the walk's actions label the
+        // cycle, the Karp–Miller path to its start node labels the prefix;
+        // a walk past the materialization cap truncates the rendering only,
+        // never the decision.
+        if !graph.accepting.is_empty() {
+            let accepting = |s: usize| graph.accepting.contains(&s);
+            let (lasso, details) = if retain {
+                match cover.nonneg_cycle_search_through_pred(
+                    &graph.vass,
+                    &accepting,
+                    WITNESS_CYCLE_CAP,
+                ) {
+                    CycleSearch::None => (false, None),
+                    CycleSearch::Witness(walk) => (
+                        true,
+                        Some(Arc::new(EntryDetails {
+                            prefix: steps_to(walk[0].0),
+                            cycle: walk
+                                .iter()
+                                .map(|&(_, action, _)| graph.labels[action].clone())
+                                .collect(),
+                            cycle_truncated: false,
+                        })),
+                    ),
+                    CycleSearch::ExceedsCap => (
+                        true,
+                        Some(Arc::new(EntryDetails {
+                            prefix: Vec::new(),
+                            cycle: Vec::new(),
+                            cycle_truncated: true,
+                        })),
+                    ),
+                }
+            } else {
+                (
+                    cover.nonneg_cycle_through_pred(&graph.vass, &accepting),
+                    None,
+                )
+            };
+            if lasso {
+                candidates.push(RtEntry {
+                    input_key,
+                    output: None,
+                    beta: self.beta.clone(),
+                    witness: NonReturningWitness {
+                        blocking: false,
+                        lasso: true,
+                    },
+                    details,
+                });
+            }
         }
         (candidates, cover.node_count())
     }
@@ -1016,6 +1147,14 @@ impl<'a> TaskVerifier<'a> {
     /// exploration does: candidates for the same `(τ_in, τ_out, β)` tuple
     /// collapse into one entry whose [`NonReturningWitness`] accumulates
     /// every path kind witnessed for it.
+    ///
+    /// Retained details follow the kind the verifier will *report* for the
+    /// entry (lasso is preferred over blocking when both are witnessed): the
+    /// first lasso candidate's details win over a blocking candidate's;
+    /// otherwise the first candidate in canonical order keeps its details.
+    /// Because this reduction runs over the canonical candidate order in
+    /// both engines, the surviving details — and hence the reconstructed
+    /// counterexample — are identical at every thread count.
     pub fn reduce_queries(
         graph: &ExploredGraph,
         per_init: impl IntoIterator<Item = (Vec<RtEntry>, usize)>,
@@ -1026,7 +1165,13 @@ impl<'a> TaskVerifier<'a> {
             stats.coverability_nodes += km_nodes;
             for e in candidates {
                 match entries.iter_mut().find(|kept| kept.same_tuple(&e)) {
-                    Some(kept) => kept.witness.merge(e.witness),
+                    Some(kept) => {
+                        let had_lasso = kept.witness.lasso;
+                        kept.witness.merge(e.witness);
+                        if (!had_lasso && e.witness.lasso) || kept.details.is_none() {
+                            kept.details = e.details;
+                        }
+                    }
                     None => entries.push(e),
                 }
             }
@@ -1053,6 +1198,9 @@ pub struct ExploredGraph {
     accepting: BTreeSet<usize>,
     out_vars: Vec<VarId>,
     stats: Stats,
+    /// One rendered step per transition/VASS action, in creation order —
+    /// empty unless [`VerifierConfig::witnesses`] retained them.
+    labels: Vec<WitnessStep>,
 }
 
 impl ExploredGraph {

@@ -1,7 +1,7 @@
 //! The top-level verifier: bottom-up computation of `R_T` and the final
 //! model-checking answer.
 
-use crate::outcome::{Outcome, Stats, Violation, ViolationKind};
+use crate::outcome::{Outcome, Stats, Violation, ViolationKind, WitnessNode, WitnessStep};
 use crate::parallel::{run_pool, WorkerHandle};
 use crate::property::PropertyContext;
 use crate::task_verifier::{ExploredGraph, RtEntry, SummaryMap, TaskSummary, TaskVerifier};
@@ -54,6 +54,17 @@ pub struct VerifierConfig {
     ///
     /// Defaults to [`VerifierConfig::default_threads`].
     pub threads: usize,
+    /// Whether to retain per-run witness data and reconstruct a hierarchical
+    /// counterexample ([`crate::outcome::WitnessNode`]) when the property is
+    /// violated. Off by default: retention records one step label per VASS
+    /// transition and materializes pump cycles, so the no-witness hot path
+    /// keeps its current allocations (DESIGN.md §5.7 states the cost model).
+    ///
+    /// Enabling witnesses never changes `holds` or the statistics; it
+    /// refines the reported violation — `Violation::witness` is populated,
+    /// and the kind becomes [`crate::ViolationKind::Returning`] when a
+    /// returned sub-call carries the violation.
+    pub witnesses: bool,
 }
 
 impl Default for VerifierConfig {
@@ -67,6 +78,7 @@ impl Default for VerifierConfig {
             km_node_cap: 50_000,
             use_cells: false,
             threads: Self::default_threads(),
+            witnesses: false,
         }
     }
 }
@@ -92,6 +104,14 @@ impl VerifierConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Returns this configuration with witness reconstruction switched on or
+    /// off (see [`VerifierConfig::witnesses`]).
+    #[must_use]
+    pub fn with_witnesses(mut self, witnesses: bool) -> Self {
+        self.witnesses = witnesses;
         self
     }
 }
@@ -187,10 +207,26 @@ impl<'a> Verifier<'a> {
                 // blocks on a never-returning child. (Every non-returning
                 // entry carries at least one of the two witnesses.)
                 debug_assert!(entry.witness.lasso || entry.witness.blocking);
-                let kind = if entry.witness.lasso {
+                let root_kind = if entry.witness.lasso {
                     ViolationKind::Lasso
                 } else {
                     ViolationKind::Blocking
+                };
+                // Witness reconstruction (when retained): descend from the
+                // violating root entry through the summaries to build the
+                // per-task witness tree, and refine the reported kind to
+                // `Returning` when the carrier chain starts with a returned
+                // sub-call — the sub-task's returned run, not the root's
+                // own path, is what carries the violation.
+                let witness = self
+                    .config
+                    .witnesses
+                    .then(|| self.reconstruct(&summaries, root_task, entry));
+                let kind = match witness.as_ref().and_then(WitnessNode::carrier) {
+                    Some(carrier) if carrier.kind == ViolationKind::Returning => {
+                        ViolationKind::Returning
+                    }
+                    _ => root_kind,
                 };
                 Outcome {
                     holds: false,
@@ -198,13 +234,112 @@ impl<'a> Verifier<'a> {
                         task: root_task,
                         kind,
                         input_description: format!(
-                            "input isomorphism type {:?}",
-                            entry.input_key
+                            "input isomorphism type {}",
+                            crate::outcome::render_input_key(&entry.input_key)
                         ),
+                        witness,
                     }),
                     stats,
                 }
             }
+        }
+    }
+
+    /// Reconstructs the hierarchical witness tree rooted at `entry` — one
+    /// [`WitnessNode`] per task run, descending through the committed
+    /// summaries: every `OpenChild` step on the entry's retained run records
+    /// the child `R_T` tuple the run chose, which identifies the child's own
+    /// entry (and retained details) in `summaries`, recursively. Distinct
+    /// child calls appear once each, in run order; the hierarchy is a tree,
+    /// so the descent terminates at the leaves.
+    ///
+    /// Everything read here — the entry list layout, each entry's details —
+    /// is produced by the canonical-order reduction of DESIGN.md §5.6, so
+    /// the reconstructed tree is byte-identical at every thread count.
+    fn reconstruct(
+        &self,
+        summaries: &SummaryMap,
+        task: TaskId,
+        entry: &RtEntry,
+    ) -> WitnessNode {
+        let schema = &self.system.schema;
+        let kind = if entry.output.is_some() {
+            ViolationKind::Returning
+        } else if entry.witness.lasso {
+            ViolationKind::Lasso
+        } else {
+            ViolationKind::Blocking
+        };
+        let (prefix, cycle, cycle_truncated) = match entry.details.as_deref() {
+            Some(d) => (d.prefix.clone(), d.cycle.clone(), d.cycle_truncated),
+            None => (Vec::new(), Vec::new(), false),
+        };
+        let mut children: Vec<WitnessNode> = Vec::new();
+        let mut seen: Vec<&WitnessStep> = Vec::new();
+        for step in prefix.iter().chain(cycle.iter()) {
+            let WitnessStep::OpenChild {
+                child,
+                beta,
+                input_key,
+                output,
+                ..
+            } = step
+            else {
+                continue;
+            };
+            if seen.contains(&step) {
+                continue;
+            }
+            seen.push(step);
+            let child_entry = summaries.get(child).and_then(|summary| {
+                summary.entries.iter().find(|e| {
+                    e.input_key == *input_key && e.output == *output && e.beta == *beta
+                })
+            });
+            let node = match child_entry {
+                Some(e) => self.reconstruct(summaries, *child, e),
+                // Defensive: the opening consumed this tuple from the
+                // committed summary, so it must be there — degrade to a
+                // detail-less node rather than panic in a reporting path.
+                None => WitnessNode {
+                    task: *child,
+                    task_name: schema.task(*child).name.clone(),
+                    kind: if output.is_some() {
+                        ViolationKind::Returning
+                    } else {
+                        ViolationKind::Blocking
+                    },
+                    input_description: format!(
+                        "input isomorphism type {}",
+                        crate::outcome::render_input_key(input_key)
+                    ),
+                    beta: beta.clone(),
+                    prefix: Vec::new(),
+                    cycle: Vec::new(),
+                    cycle_truncated: false,
+                    children: Vec::new(),
+                },
+            };
+            // Distinct calls can still reconstruct to structurally equal
+            // runs (e.g. two openings that differ only in the promised
+            // output pattern); listing one of them keeps the tree readable.
+            if !children.contains(&node) {
+                children.push(node);
+            }
+        }
+        WitnessNode {
+            task,
+            task_name: schema.task(task).name.clone(),
+            kind,
+            input_description: format!(
+                "input isomorphism type {}",
+                crate::outcome::render_input_key(&entry.input_key)
+            ),
+            beta: entry.beta.clone(),
+            prefix,
+            cycle,
+            cycle_truncated,
+            children,
         }
     }
 
@@ -668,6 +803,82 @@ mod tests {
         let violation = outcome.violation.as_ref().expect("witness");
         assert_eq!(violation.kind, ViolationKind::Blocking, "{outcome}");
         assert!(outcome.to_string().contains("blocking run"), "{outcome}");
+    }
+
+    /// With witness reconstruction on, the idle-loop lasso comes back as a
+    /// rendered run: a (possibly empty) prefix plus a non-empty pump cycle
+    /// of internal services — and the `holds`/stats answer is unchanged.
+    #[test]
+    fn lasso_witness_materializes_the_idle_pump_cycle() {
+        let (system, flag) = flag_system();
+        let root = system.root();
+        let mut hb = HltlBuilder::new(root);
+        let set = hb.condition(Condition::eq_const(flag, has_arith::Rational::from_int(1)));
+        let property = hb.finish(set.eventually());
+        let plain = Verifier::new(&system, &property).verify();
+        let config = VerifierConfig::default().with_witnesses(true);
+        let outcome = Verifier::with_config(&system, &property, config).verify();
+        assert!(!outcome.holds);
+        assert_eq!(outcome.stats, plain.stats, "retention must not change stats");
+        let violation = outcome.violation.expect("witness");
+        assert_eq!(violation.kind, ViolationKind::Lasso);
+        assert_eq!(violation.origin(), root, "no sub-call to descend into");
+        let witness = violation.witness.expect("reconstructed tree");
+        assert_eq!(witness.task, root);
+        assert!(
+            !witness.cycle.is_empty() && !witness.cycle_truncated,
+            "{witness}"
+        );
+        let rendered = witness.to_string();
+        assert!(rendered.contains("cycle (repeatable pump):"), "{rendered}");
+        assert!(rendered.contains("internal service `"), "{rendered}");
+    }
+
+    /// With witness reconstruction on, a root blocking on a never-returning
+    /// child descends into the child: the origin names the child and the
+    /// child's node carries its own (spinning) run.
+    #[test]
+    fn blocking_witness_descends_into_the_spinning_child() {
+        let mut b = SystemBuilder::new("blocking");
+        let root = b.root_task("Main");
+        let ret = b.num_var(root, "ret");
+        let child = b.child_task(root, "Child");
+        let cflag = b.num_var(child, "cflag");
+        b.internal_service(
+            child,
+            "spin",
+            Condition::True,
+            Condition::eq_const(cflag, has_arith::Rational::ZERO),
+            SetUpdate::None,
+        );
+        b.close_when(child, Condition::eq_const(cflag, has_arith::Rational::from_int(1)));
+        b.map_output(child, ret, cflag);
+        let system = b.build().unwrap();
+        let child_id = system.schema.task_by_name("Child").unwrap();
+
+        let mut hb = HltlBuilder::new(system.root());
+        let done = hb.condition(Condition::eq_const(ret, has_arith::Rational::from_int(1)));
+        let property = hb.finish(done.eventually());
+        let config = VerifierConfig::default().with_witnesses(true);
+        let outcome = Verifier::with_config(&system, &property, config).verify();
+        assert!(!outcome.holds, "{outcome}");
+        let violation = outcome.violation.as_ref().expect("witness");
+        // The root's own path kind is still blocking (the carrier is a
+        // never-returning call, not a returned one) …
+        assert_eq!(violation.kind, ViolationKind::Blocking, "{outcome}");
+        // … but the origin names the task that actually violates.
+        assert_eq!(violation.origin(), child_id);
+        assert_eq!(violation.origin_name(), Some("Child"));
+        let witness = violation.witness.as_ref().expect("tree");
+        let rendered = witness.to_string();
+        assert!(rendered.contains("→ never returns"), "{rendered}");
+        assert!(rendered.contains("└ task `Child`"), "{rendered}");
+        assert!(rendered.contains("internal service `spin`"), "{rendered}");
+        // The outcome line names the originating sub-task.
+        assert!(
+            outcome.to_string().contains("originating in task `Child`"),
+            "{outcome}"
+        );
     }
 
     #[test]

@@ -19,9 +19,38 @@
 //!   Lemma 21 relies on;
 //! * [`hltl`] — HLTL-FO formulas over a concrete artifact system, the
 //!   per-task sub-formula sets `Φ_T`, and truth assignments `β` over them.
+//!
+//! # Worked example
+//!
+//! Build `G (req → F ack)` over string propositions, evaluate it directly
+//! on ultimately-periodic traces, and check that the tableau Büchi
+//! automaton agrees with the direct semantics:
+//!
+//! ```
+//! use has_ltl::{Buchi, Ltl};
+//!
+//! let req = Ltl::prop("req");
+//! let ack = Ltl::prop("ack");
+//! let formula = req.implies(ack.eventually()).globally();
+//!
+//! // A lasso trace: positions 0..len, looping back to `loop_start`.
+//! // Good: req at 0 is answered by ack at 1, then an idle loop at 2.
+//! let good = |pos: usize, p: &&str| matches!((pos, *p), (0, "req") | (1, "ack"));
+//! assert!(formula.eval_lasso(3, 2, &good));
+//!
+//! // Bad: req at 0 and ack never arrives …
+//! let bad = |pos: usize, p: &&str| pos == 0 && *p == "req";
+//! assert!(!formula.eval_lasso(3, 2, &bad));
+//!
+//! // … and `B_φ` accepts exactly the same lassos.
+//! let buchi = Buchi::from_ltl(&formula);
+//! assert!(buchi.state_count() > 0);
+//! assert!(buchi.accepts_lasso(3, 2, &good));
+//! assert!(!buchi.accepts_lasso(3, 2, &bad));
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod buchi;
 pub mod hltl;

@@ -23,9 +23,41 @@
 //!   (used for the TS-isomorphism-type counters and for the input/output
 //!   types exchanged between tasks), and the extension enumeration used by
 //!   the verifier to compute successors.
+//!
+//! # Worked example
+//!
+//! Build a one-task system with a numeric variable, derive the task's
+//! symbolic context from the condition `y = 0`, and watch the equality type
+//! decide that condition before and after the variable is rewritten:
+//!
+//! ```
+//! use has_arith::{LinearConstraint, Rational};
+//! use has_model::{Condition, SystemBuilder, VarId};
+//! use has_symbolic::{SymState, TaskContext};
+//!
+//! let mut b = SystemBuilder::new("demo");
+//! let root = b.root_task("Main");
+//! let y = b.num_var(root, "y");
+//! let system = b.build().unwrap();
+//!
+//! // The expression universe contains exactly what the given conditions
+//! // can observe — here the variable `y` and the constant `0`.
+//! let zero = Condition::eq_const(y, Rational::ZERO);
+//! let ctx = TaskContext::build(&system, root, &[zero.clone()], 1);
+//! let no_arith = |_: &LinearConstraint<VarId>| None;
+//!
+//! // Initially every numeric variable sits in the `0` equivalence class …
+//! let mut state = SymState::blank(&ctx, &system.schema);
+//! assert_eq!(state.satisfies(&ctx, &zero, &no_arith), Some(true));
+//!
+//! // … and rewriting `y` to a fresh value separates it from `0`: the
+//! // equality type now *determines* the condition to be false.
+//! state.fresh_numeric(&ctx, y);
+//! assert_eq!(state.satisfies(&ctx, &zero, &no_arith), Some(false));
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod context;
 pub mod expr;

@@ -214,6 +214,17 @@ impl CoverabilityGraph {
     /// with the given control state, if one exists.
     pub fn path_to_state(&self, target: usize) -> Option<Vec<usize>> {
         let node = self.nodes.iter().position(|n| n.state == target)?;
+        Some(self.path_to_node(node))
+    }
+
+    /// The VASS action sequence from the root to the given node, following
+    /// the Karp–Miller tree's parent chain (empty for the root). This is the
+    /// run *prefix* a counterexample report renders in front of a blocking
+    /// point or pump cycle.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn path_to_node(&self, node: usize) -> Vec<usize> {
         let mut path = Vec::new();
         let mut current = node;
         while let Some(parent) = self.nodes[current].parent {
@@ -225,7 +236,7 @@ impl CoverabilityGraph {
             current = parent;
         }
         path.reverse();
-        Some(path)
+        path
     }
 
     /// Decides whether a cycle (closed walk) through some node with control
@@ -246,18 +257,62 @@ impl CoverabilityGraph {
     /// control state satisfying the predicate (used by the verifier, where
     /// "accepting" is a property of the encoded Büchi component).
     pub fn nonneg_cycle_through_pred(&self, vass: &Vass, target: &dyn Fn(usize) -> bool) -> bool {
-        let edges: Vec<DeltaEdge> = self
-            .edges
+        cycle::nonneg_cycle_exists(self.nodes.len(), vass.dim, &self.delta_edges(vass), &|node| {
+            target(self.nodes[node].state)
+        })
+    }
+
+    /// Decides [`CoverabilityGraph::nonneg_cycle_through_pred`] and
+    /// materializes the pump-cycle witness in one pipeline run
+    /// ([`cycle::nonneg_cycle_search`]): on
+    /// [`cycle::CycleSearch::Witness`], the walk comes back as
+    /// coverability-graph edges `(from_node, action_index, to_node)` in
+    /// traversal order, starting (and ending) at a predicate node, with
+    /// componentwise non-negative summed action effect — the cycle part of a
+    /// lasso counterexample, repeatable forever. The decision itself is
+    /// exact regardless of the `max_len` materialization cap.
+    pub fn nonneg_cycle_search_through_pred(
+        &self,
+        vass: &Vass,
+        target: &dyn Fn(usize) -> bool,
+        max_len: usize,
+    ) -> cycle::CycleSearch<(usize, usize, usize)> {
+        cycle::nonneg_cycle_search(
+            self.nodes.len(),
+            vass.dim,
+            &self.delta_edges(vass),
+            &|node| target(self.nodes[node].state),
+            max_len,
+        )
+        .map_edges(|i| self.edges[i])
+    }
+
+    /// The walk of [`CoverabilityGraph::nonneg_cycle_search_through_pred`],
+    /// or `None` when no cycle exists or none could be materialized within
+    /// `max_len` traversals.
+    pub fn nonneg_cycle_witness_through_pred(
+        &self,
+        vass: &Vass,
+        target: &dyn Fn(usize) -> bool,
+        max_len: usize,
+    ) -> Option<Vec<(usize, usize, usize)>> {
+        match self.nonneg_cycle_search_through_pred(vass, target, max_len) {
+            cycle::CycleSearch::Witness(walk) => Some(walk),
+            _ => None,
+        }
+    }
+
+    /// The graph's edges as [`DeltaEdge`]s over coverability nodes, with each
+    /// edge carrying its underlying VASS action effect.
+    fn delta_edges(&self, vass: &Vass) -> Vec<DeltaEdge> {
+        self.edges
             .iter()
             .map(|&(from, action, to)| DeltaEdge {
                 from,
                 to,
                 delta: vass.actions[action].delta.clone(),
             })
-            .collect();
-        cycle::nonneg_cycle_exists(self.nodes.len(), vass.dim, &edges, &|node| {
-            target(self.nodes[node].state)
-        })
+            .collect()
     }
 }
 
@@ -326,6 +381,34 @@ mod tests {
         let g2 = CoverabilityGraph::build(&v2, 0);
         assert!(g2.nonneg_cycle_through(&v2, 0));
         assert!(!g2.nonneg_cycle_through(&v2, 1));
+    }
+
+    #[test]
+    fn cycle_witness_and_prefix_reconstruct_a_lasso() {
+        // 0 --(+1)--> 1 with a balanced two-edge cycle 1 ⇄ 2: the lasso
+        // through state 1 has a one-action prefix and a two-edge pump cycle.
+        let mut v = Vass::new(3, 1);
+        v.add_action(0, vec![1], 1);
+        v.add_action(1, vec![-1], 2);
+        v.add_action(2, vec![1], 1);
+        let g = CoverabilityGraph::build(&v, 0);
+        assert!(g.nonneg_cycle_through(&v, 1));
+        let walk = g
+            .nonneg_cycle_witness_through_pred(&v, &|s| s == 1, 10_000)
+            .expect("lasso exists");
+        // Chained and closed over coverability nodes, starting at state 1.
+        for (k, &(_, _, to)) in walk.iter().enumerate() {
+            assert_eq!(to, walk[(k + 1) % walk.len()].0);
+        }
+        let (start, _, _) = walk[0];
+        assert_eq!(g.nodes[start].state, 1);
+        // The prefix to the cycle's start replays to its control state.
+        let prefix = g.path_to_node(start);
+        assert_eq!(prefix.len(), 1);
+        assert_eq!(v.actions[prefix[0]].to, 1);
+        // Summed effect of the cycle is non-negative.
+        let sum: i64 = walk.iter().map(|&(_, a, _)| v.actions[a].delta[0]).sum();
+        assert!(sum >= 0);
     }
 
     #[test]

@@ -129,6 +129,120 @@ pub fn nonneg_cycle_exists(
     if edges.is_empty() {
         return false;
     }
+    for es in target_components(num_nodes, edges, is_target) {
+        if component_witness(dim, edges, es, is_target).is_some() {
+            return true;
+        }
+    }
+    false
+}
+
+/// The outcome of [`nonneg_cycle_search`]: the decision *and* (when it can
+/// be materialized) the witnessing closed walk, from one pipeline run.
+///
+/// Generic over the edge representation `E` so wrappers can re-express the
+/// walk in their own edge space ([`CycleSearch::map_edges`]) — the search
+/// itself produces indices into the searched edge list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CycleSearch<E = usize> {
+    /// No closed walk through a target with componentwise non-negative
+    /// summed effect exists. Exact and unbounded, like
+    /// [`nonneg_cycle_exists`].
+    None,
+    /// A witness exists, materialized as a walk of edges: consecutive edges
+    /// share a node, the walk is closed, it starts (and ends) at a node
+    /// satisfying the target predicate, and its summed `delta` is
+    /// componentwise non-negative — a concrete "pump cycle" a
+    /// counterexample report can show.
+    Witness(Vec<E>),
+    /// A witness exists (the decision is still exact), but materializing it
+    /// would exceed the caller's traversal cap or overflow the integer
+    /// scaling of the circulation.
+    ExceedsCap,
+}
+
+impl<E> CycleSearch<E> {
+    /// Whether a witnessing walk exists (materialized or not) — always
+    /// equal to what [`nonneg_cycle_exists`] answers on the same input.
+    pub fn exists(&self) -> bool {
+        !matches!(self, CycleSearch::None)
+    }
+
+    /// Re-expresses a materialized walk's edges through `f`, preserving the
+    /// other verdicts.
+    pub fn map_edges<T>(self, f: impl FnMut(E) -> T) -> CycleSearch<T> {
+        match self {
+            CycleSearch::None => CycleSearch::None,
+            CycleSearch::ExceedsCap => CycleSearch::ExceedsCap,
+            CycleSearch::Witness(walk) => {
+                CycleSearch::Witness(walk.into_iter().map(f).collect())
+            }
+        }
+    }
+}
+
+/// Decides the query of [`nonneg_cycle_exists`] and materializes the
+/// witnessing closed walk in the same pipeline run.
+///
+/// The walk is built from the witnessing circulation by scaling the rational
+/// edge multiplicities to integers and threading an Eulerian circuit through
+/// the resulting balanced multigraph; its length is the scaled total flow,
+/// so materialization is bounded by `max_len` edge traversals
+/// ([`CycleSearch::ExceedsCap`] past the bound — the *decision* is exact
+/// either way). Callers that only need the boolean should use
+/// [`nonneg_cycle_exists`], which skips the materialization entirely.
+pub fn nonneg_cycle_search(
+    num_nodes: usize,
+    dim: usize,
+    edges: &[DeltaEdge],
+    is_target: &dyn Fn(usize) -> bool,
+    max_len: usize,
+) -> CycleSearch {
+    if edges.is_empty() {
+        return CycleSearch::None;
+    }
+    let mut admitted = false;
+    for es in target_components(num_nodes, edges, is_target) {
+        if let Some((sub, point)) = component_witness(dim, edges, es, is_target) {
+            if let Some(walk) = eulerian_walk(edges, &sub, &point, is_target, max_len) {
+                return CycleSearch::Witness(walk);
+            }
+            // This component's witness is too large to materialize; another
+            // component may still yield a small one.
+            admitted = true;
+        }
+    }
+    if admitted {
+        CycleSearch::ExceedsCap
+    } else {
+        CycleSearch::None
+    }
+}
+
+/// Like [`nonneg_cycle_exists`], but returns the witnessing closed walk of
+/// [`nonneg_cycle_search`], or `None` when no witness exists **or** none
+/// could be materialized within `max_len` traversals.
+pub fn nonneg_cycle_witness(
+    num_nodes: usize,
+    dim: usize,
+    edges: &[DeltaEdge],
+    is_target: &dyn Fn(usize) -> bool,
+    max_len: usize,
+) -> Option<Vec<usize>> {
+    match nonneg_cycle_search(num_nodes, dim, edges, is_target, max_len) {
+        CycleSearch::Witness(walk) => Some(walk),
+        CycleSearch::None | CycleSearch::ExceedsCap => None,
+    }
+}
+
+/// The per-SCC edge sets that contain at least one edge leaving a target
+/// node (a witnessing walk leaves its target at least once, and lies within
+/// one strongly connected component).
+fn target_components(
+    num_nodes: usize,
+    edges: &[DeltaEdge],
+    is_target: &dyn Fn(usize) -> bool,
+) -> Vec<Vec<usize>> {
     let pairs: Vec<(usize, usize)> = edges.iter().map(|e| (e.from, e.to)).collect();
     let (comp, comp_count) = strongly_connected_components(num_nodes, &pairs);
     let mut by_comp: Vec<Vec<usize>> = vec![Vec::new(); comp_count];
@@ -137,36 +251,34 @@ pub fn nonneg_cycle_exists(
             by_comp[comp[e.from]].push(i);
         }
     }
-    for es in by_comp {
-        // A witnessing walk leaves its target node at least once, so the
-        // component must contain an edge out of a target.
-        if es.iter().any(|&i| is_target(edges[i].from))
-            && component_admits_lasso(dim, edges, es, is_target)
-        {
-            return true;
-        }
-    }
-    false
+    by_comp
+        .into_iter()
+        .filter(|es| es.iter().any(|&i| is_target(edges[i].from)))
+        .collect()
 }
 
 /// Kosaraju–Sullivan-style support refinement within one SCC's edge set.
 ///
-/// Fast path: *any* feasible circulation whose own support is already weakly
-/// connected is a complete witness (the target-outflow row guarantees it
-/// touches a target), so most queries resolve with a single Phase-I solve.
-/// Only a disconnected support triggers the maximal-support computation and
-/// the per-component recursion.
-fn component_admits_lasso(
+/// Fast path: *any* feasible circulation whose (accumulated) support is
+/// already weakly connected is a complete witness (the target-outflow row
+/// guarantees it touches a target), so most queries resolve with a single
+/// Phase-I solve. Only a disconnected support triggers the maximal-support
+/// computation and the per-component recursion.
+///
+/// On success, returns the edge subset searched together with a feasible
+/// circulation over it whose support is weakly connected — the raw material
+/// [`nonneg_cycle_witness`] turns into a concrete closed walk.
+fn component_witness(
     dim: usize,
     edges: &[DeltaEdge],
     initial: Vec<usize>,
     is_target: &dyn Fn(usize) -> bool,
-) -> bool {
+) -> Option<(Vec<usize>, Vec<Rational>)> {
     let mut work = vec![initial];
     while let Some(es) = work.pop() {
         match maximal_support(dim, edges, &es, is_target) {
             Support::Infeasible => {}
-            Support::ConnectedWitness => return true,
+            Support::ConnectedWitness(point) => return Some((es, point)),
             Support::Disconnected(support) => {
                 // A connected witness has connected support inside the
                 // maximal support, hence inside exactly one of its weak
@@ -179,14 +291,16 @@ fn component_admits_lasso(
             }
         }
     }
-    false
+    None
 }
 
 enum Support {
     /// No circulation through a target exists over this edge set.
     Infeasible,
-    /// Some circulation has weakly connected support: a witness exists.
-    ConnectedWitness,
+    /// Some circulation has weakly connected support: a witness exists, and
+    /// this point (indexed by position in the searched edge subset) realizes
+    /// it.
+    ConnectedWitness(Vec<Rational>),
     /// The maximal support (every edge positive in some circulation); its
     /// weak components are more than one.
     Disconnected(Vec<usize>),
@@ -198,10 +312,11 @@ enum Support {
 /// the edges not yet known to be supportable: an optimum of zero proves the
 /// remainder is zero in *every* solution (all variables are non-negative),
 /// while any positive or unbounded outcome enlarges the known support. The
-/// constraint set is closed under addition and upward scaling, so the union
-/// of the supports seen along the way is realized by a single feasible
-/// point — and every intermediate point is itself a circulation, so a
-/// connected intermediate support short-circuits the computation.
+/// constraint set is closed under addition and upward scaling, so the
+/// accumulated *sum* of the points seen along the way is itself a feasible
+/// circulation realizing the union of their supports — the sum is what a
+/// connected verdict returns, and every intermediate sum with connected
+/// support short-circuits the computation.
 fn maximal_support(
     dim: usize,
     edges: &[DeltaEdge],
@@ -215,18 +330,27 @@ fn maximal_support(
         return Support::Infeasible;
     };
     let mut supported = vec![false; es.len()];
-    let absorb = |supported: &mut Vec<bool>, point: &[Rational]| -> bool {
-        let mut own_support = Vec::new();
+    let mut accum = vec![Rational::ZERO; es.len()];
+    // Adds a circulation to the accumulated sum and reports whether the
+    // accumulated support (exactly the positive coordinates of `accum`,
+    // since every point is componentwise non-negative) is weakly connected.
+    let absorb = |supported: &mut Vec<bool>, accum: &mut Vec<Rational>, point: &[Rational]| -> bool {
         for (p, v) in point.iter().enumerate() {
             if v.is_positive() {
                 supported[p] = true;
-                own_support.push(es[p]);
+                accum[p] += *v;
             }
         }
-        weak_components(edges, &own_support).len() == 1
+        let support: Vec<usize> = supported
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s)
+            .map(|(p, _)| es[p])
+            .collect();
+        weak_components(edges, &support).len() == 1
     };
-    if absorb(&mut supported, &first) {
-        return Support::ConnectedWitness;
+    if absorb(&mut supported, &mut accum, &first) {
+        return Support::ConnectedWitness(accum);
     }
     loop {
         let objective: Vec<(usize, Rational)> = (0..es.len())
@@ -247,8 +371,8 @@ fn maximal_support(
             }
             LpOutcome::Unbounded { point } => point,
         };
-        if absorb(&mut supported, &point) {
-            return Support::ConnectedWitness;
+        if absorb(&mut supported, &mut accum, &point) {
+            return Support::ConnectedWitness(accum);
         }
     }
     let support: Vec<usize> = es
@@ -258,11 +382,105 @@ fn maximal_support(
         .map(|(_, &i)| i)
         .collect();
     if weak_components(edges, &support).len() == 1 {
-        // The sum of the points seen along the way realizes the whole
-        // maximal support at once.
-        return Support::ConnectedWitness;
+        // The accumulated sum realizes the whole maximal support at once.
+        return Support::ConnectedWitness(accum);
     }
     Support::Disconnected(support)
+}
+
+/// Turns a connected circulation into a concrete closed walk: scale the
+/// rational multiplicities to integers, duplicate each edge that many times,
+/// and thread an Eulerian circuit through the resulting multigraph (balanced
+/// by flow conservation; a balanced, weakly connected directed multigraph is
+/// strongly connected, so Hierholzer's algorithm always closes the circuit).
+///
+/// Returns the walk as indices into `edges`, starting at a target node.
+/// `None` if the scaled walk would exceed `max_len` traversals or the
+/// integer scaling overflows `i128`.
+fn eulerian_walk(
+    edges: &[DeltaEdge],
+    es: &[usize],
+    point: &[Rational],
+    is_target: &dyn Fn(usize) -> bool,
+    max_len: usize,
+) -> Option<Vec<usize>> {
+    fn gcd(a: i128, b: i128) -> i128 {
+        let (mut a, mut b) = (a.abs(), b.abs());
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a.max(1)
+    }
+    // Least common multiple of the denominators of the positive coordinates.
+    let mut scale: i128 = 1;
+    for v in point {
+        if v.is_positive() {
+            let d = v.denominator();
+            scale = scale.checked_mul(d / gcd(scale, d))?;
+        }
+    }
+    // Integer multiplicity per position; total bounded by `max_len`.
+    let mut mult: Vec<usize> = Vec::with_capacity(es.len());
+    let mut total: usize = 0;
+    for v in point {
+        let m = if v.is_positive() {
+            let scaled = v.numerator().checked_mul(scale / v.denominator())?;
+            usize::try_from(scaled).ok()?
+        } else {
+            0
+        };
+        total = total.checked_add(m)?;
+        if total > max_len {
+            return None;
+        }
+        mult.push(m);
+    }
+    // Start at a target node that the circulation actually leaves.
+    let start = es
+        .iter()
+        .enumerate()
+        .find(|(p, &i)| mult[*p] > 0 && is_target(edges[i].from))
+        .map(|(_, &i)| edges[i].from)?;
+    // Hierholzer: per-node out-edge lists with remaining-use counters; edges
+    // are recorded on backtrack and reversed, the classic iterative form.
+    let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (p, &i) in es.iter().enumerate() {
+        if mult[p] > 0 {
+            adj.entry(edges[i].from).or_default().push(p);
+        }
+    }
+    let mut remaining = mult;
+    let mut cursor: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut stack: Vec<(usize, Option<usize>)> = vec![(start, None)];
+    let mut walk_rev: Vec<usize> = Vec::with_capacity(total);
+    while let Some(&(v, via)) = stack.last() {
+        let next = adj.get(&v).and_then(|list| {
+            let c = cursor.entry(v).or_insert(0);
+            while *c < list.len() && remaining[list[*c]] == 0 {
+                *c += 1;
+            }
+            (*c < list.len()).then(|| list[*c])
+        });
+        match next {
+            Some(p) => {
+                remaining[p] -= 1;
+                stack.push((edges[es[p]].to, Some(p)));
+            }
+            None => {
+                stack.pop();
+                if let Some(p) = via {
+                    walk_rev.push(p);
+                }
+            }
+        }
+    }
+    if walk_rev.len() != total {
+        // Disconnected support — cannot happen for a ConnectedWitness point,
+        // but degrade gracefully rather than return a broken walk.
+        return None;
+    }
+    walk_rev.reverse();
+    Some(walk_rev.into_iter().map(|p| es[p]).collect())
 }
 
 /// Builds the circulation feasibility program over the edge subset `es`:
@@ -483,6 +701,99 @@ mod tests {
         assert!(nonneg_cycle_exists(2, 0, &edges, &|n| n == 0));
         let dag = [edge(0, 1, &[])];
         assert!(!nonneg_cycle_exists(2, 0, &dag, &|n| n == 0));
+    }
+
+    /// Asserts that `walk` is a valid witness for (`edges`, `is_target`):
+    /// non-empty, consecutive edges chained, closed, through a target, with
+    /// componentwise non-negative summed effect.
+    fn assert_valid_walk(
+        edges: &[DeltaEdge],
+        walk: &[usize],
+        dim: usize,
+        is_target: &dyn Fn(usize) -> bool,
+    ) {
+        assert!(!walk.is_empty());
+        let mut sum = vec![0i64; dim];
+        for (k, &i) in walk.iter().enumerate() {
+            let next = walk[(k + 1) % walk.len()];
+            assert_eq!(
+                edges[i].to, edges[next].from,
+                "walk breaks between positions {k} and {}",
+                (k + 1) % walk.len()
+            );
+            for (s, d) in sum.iter_mut().zip(&edges[i].delta) {
+                *s += d;
+            }
+        }
+        assert!(sum.iter().all(|&s| s >= 0), "negative summed effect {sum:?}");
+        assert!(
+            walk.iter().any(|&i| is_target(edges[i].from)),
+            "walk avoids every target"
+        );
+    }
+
+    #[test]
+    fn witness_matches_decision_on_the_basic_instances() {
+        let cases: Vec<(usize, usize, Vec<DeltaEdge>)> = vec![
+            (1, 1, vec![edge(0, 0, &[1])]),
+            (1, 1, vec![edge(0, 0, &[-1])]),
+            (1, 1, vec![edge(0, 0, &[-1]), edge(0, 0, &[1])]),
+            (2, 1, vec![edge(0, 1, &[1]), edge(1, 0, &[-1])]),
+            (2, 1, vec![edge(0, 1, &[0]), edge(1, 1, &[1])]),
+            (
+                2,
+                2,
+                vec![
+                    edge(0, 0, &[-1, 0]),
+                    edge(1, 1, &[2, 0]),
+                    edge(0, 1, &[0, -1]),
+                    edge(1, 0, &[0, 0]),
+                ],
+            ),
+        ];
+        for (nodes, dim, edges) in cases {
+            for t in 0..nodes {
+                let is_target = |n: usize| n == t;
+                let exists = nonneg_cycle_exists(nodes, dim, &edges, &is_target);
+                let witness = nonneg_cycle_witness(nodes, dim, &edges, &is_target, 10_000);
+                assert_eq!(exists, witness.is_some(), "target {t}, edges {edges:?}");
+                if let Some(walk) = witness {
+                    assert_valid_walk(&edges, &walk, dim, &is_target);
+                    assert!(is_target(edges[walk[0]].from), "walk starts off-target");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_materializes_amortized_pumping() {
+        // 0 → 1 pays 3, 1 → 0 gains 1, and a +1 self-loop at 1 makes up the
+        // difference: the witness must traverse the loop at least twice.
+        let edges = [edge(0, 1, &[-3]), edge(1, 0, &[1]), edge(1, 1, &[1])];
+        let walk = nonneg_cycle_witness(2, 1, &edges, &|n| n == 0, 10_000).expect("lasso exists");
+        assert_valid_walk(&edges, &walk, 1, &|n| n == 0);
+        assert!(
+            walk.iter().filter(|&&i| i == 2).count() >= 2,
+            "{walk:?} must pump the self-loop"
+        );
+    }
+
+    #[test]
+    fn witness_respects_the_materialization_cap() {
+        // The valid witness needs 4 traversals (0→1, loop ×2, 1→0); a cap of
+        // 3 must refuse rather than truncate, while the decision stays true.
+        let edges = [edge(0, 1, &[-3]), edge(1, 0, &[1]), edge(1, 1, &[1])];
+        assert!(nonneg_cycle_exists(2, 1, &edges, &|n| n == 0));
+        assert_eq!(nonneg_cycle_witness(2, 1, &edges, &|n| n == 0, 3), None);
+    }
+
+    #[test]
+    fn witness_walks_the_long_ring() {
+        let n = 100;
+        let edges: Vec<DeltaEdge> = (0..n).map(|i| edge(i, (i + 1) % n, &[0])).collect();
+        let walk = nonneg_cycle_witness(n, 1, &edges, &|s| s == 0, 10_000).expect("ring cycles");
+        assert_eq!(walk.len(), n);
+        assert_valid_walk(&edges, &walk, 1, &|s| s == 0);
     }
 
     #[test]

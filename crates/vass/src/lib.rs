@@ -26,7 +26,12 @@
 //! non-negative; the [`cycle`] module decides this exactly — no cycle-length
 //! bound — by circulation feasibility per strongly connected component,
 //! solved with the exact rational simplex of `has-arith` and
-//! Kosaraju–Sullivan support refinement for connectivity.
+//! Kosaraju–Sullivan support refinement for connectivity. When a lasso
+//! exists, [`cycle::nonneg_cycle_witness`] additionally materializes the
+//! witnessing closed walk itself (scale the circulation to integers, thread
+//! an Eulerian circuit), which the verifier renders as the pump cycle of a
+//! counterexample report
+//! ([`CoverabilityGraph::nonneg_cycle_witness_through_pred`]).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -38,5 +43,8 @@ pub mod vass;
 
 pub use bounded::BoundedExplorer;
 pub use coverability::{CoverabilityGraph, Marking, OMEGA};
-pub use cycle::{nonneg_cycle_exists, strongly_connected_components, DeltaEdge};
+pub use cycle::{
+    nonneg_cycle_exists, nonneg_cycle_search, nonneg_cycle_witness,
+    strongly_connected_components, CycleSearch, DeltaEdge,
+};
 pub use vass::{Action, Vass};

@@ -447,6 +447,30 @@ pub fn travel_property(t: &TravelSystem) -> HltlFormula {
     )
 }
 
+/// A simple liveness property for the counterexample-reading walkthrough
+/// (EXP-W1 in EXPERIMENTS.md and the README): *every run of `ManageTrips`
+/// eventually reaches `PAID` status*, `[F (status = PAID)]_ManageTrips`.
+///
+/// Violated by both variants — a run can keep adding flights and hotels (or
+/// cycling the `TRIPS` artifact relation) without ever opening
+/// `BookInitialTrip` — so it reliably produces a rendered witness tree under
+/// the bounded budgets the examples use. The Appendix A.2 policy
+/// ([`travel_property`]) is the paper-faithful property, but its violation
+/// search exhausts the bounded coverability budget before reaching the
+/// misbehaving `Cancel` configuration (the root's 12 counter dimensions
+/// explode the Karp–Miller graph), so bounded runs report it as `HOLDS
+/// (bounded search)`.
+pub fn travel_liveness_property(t: &TravelSystem) -> HltlFormula {
+    let status_var = t
+        .system
+        .schema
+        .var_by_name(t.manage_trips, "status")
+        .expect("ManageTrips has a status variable");
+    let mut hb = HltlBuilder::new(t.manage_trips);
+    let paid = hb.condition(Condition::eq_const(status_var, status::r(status::PAID)));
+    hb.finish(paid.eventually())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

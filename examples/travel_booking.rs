@@ -8,9 +8,17 @@
 //! visible first, and the property holds.
 //!
 //! Run with `cargo run --release --example travel_booking`.
+//!
+//! After the two policy checks, the example re-verifies the buggy variant
+//! against the simple liveness property `F (status = PAID)` with witness
+//! reconstruction on and prints the resulting counterexample tree — the
+//! end-to-end "reading a counterexample" walkthrough in the README steps
+//! through that output line by line.
 
 use has::verifier::{Verifier, VerifierConfig};
-use has::workloads::travel::{travel_booking, travel_property, TravelVariant};
+use has::workloads::travel::{
+    travel_booking, travel_liveness_property, travel_property, TravelVariant,
+};
 use std::time::Instant;
 
 fn main() {
@@ -44,12 +52,24 @@ fn main() {
         );
         match variant {
             TravelVariant::Buggy => println!(
-                "  expected: VIOLATED — Cancel may run while AddHotel is adding a discounted hotel"
+                "  modelled bug: Cancel may run while AddHotel is adding a discounted hotel\n  (the bounded search exhausts its coverability budget before reaching that\n  configuration, so this line reads HOLDS — see EXPERIMENTS.md on bounded verdicts)"
             ),
             TravelVariant::Fixed => println!(
                 "  expected: HOLDS — Cancel only opens once the hotel reservation is visible"
             ),
         }
+    }
+
+    // The counterexample walkthrough: verify a liveness property that is
+    // genuinely violated within the bounded budget, with witness
+    // reconstruction enabled, and render the hierarchical witness tree.
+    let t = travel_booking(TravelVariant::Buggy);
+    let liveness = travel_liveness_property(&t);
+    let outcome =
+        Verifier::with_config(&t.system, &liveness, config.clone().with_witnesses(true)).verify();
+    println!("\ntravel-booking vs F(status=PAID)  ->  {outcome}");
+    if let Some(tree) = outcome.violation.as_ref().and_then(|v| v.witness.as_ref()) {
+        print!("{tree}");
     }
     println!("travel booking example finished");
 }

@@ -80,6 +80,34 @@ fn deep_narrow_chain_is_deterministic_across_thread_counts() {
     );
 }
 
+/// Witness reconstruction (DESIGN.md §5.7) extends the determinism contract
+/// to *which* counterexample is reported: with retention on, the rendered
+/// violation — witness tree included, since `Violation::witness` is part of
+/// the compared `Debug` output — must stay byte-identical at every thread
+/// count. Exercised on the travel workload (realistic hierarchy, violated
+/// buggy variant) and the deep-narrow chain (the scheduler's worst case).
+#[test]
+fn witness_reconstruction_is_deterministic_across_thread_counts() {
+    let config = capped().with_witnesses(true);
+    let t = travel_booking(TravelVariant::Buggy);
+    let property = travel_property(&t);
+    assert_identical_across_threads(
+        "travel/Buggy+witnesses",
+        &t.system,
+        &property,
+        config.clone(),
+        &[2, 8],
+    );
+    let generated = GeneratorParams::deep_narrow(6).generate();
+    assert_identical_across_threads(
+        &format!("{}+witnesses", generated.label),
+        &generated.system,
+        &generated.property,
+        config,
+        &[1, 2, 8],
+    );
+}
+
 #[test]
 fn order_fulfilment_is_deterministic_across_thread_counts() {
     let o = order_fulfilment();
