@@ -6,10 +6,15 @@
 //! ```text
 //! cargo run --release -p has-bench --bin tables            # all experiments
 //! cargo run --release -p has-bench --bin tables -- table1  # one experiment
+//! cargo run --release -p has-bench --bin tables -- --json pr6 table2 vass
+//! #   ... additionally writes BENCH_pr6.json with one machine-readable
+//! #   record per printed row (see has_bench::records_to_json)
 //! ```
 
 use has_arith::{CellSet, LinExpr, Rational};
-use has_bench::{bench_config, engine_modes, fast_config, measure, Measurement};
+use has_bench::{
+    bench_config, engine_modes, fast_config, measure, write_records, BenchRecord, Measurement,
+};
 use has_core::{Outcome, Verifier, VerifierConfig};
 use has_model::SchemaClass;
 use has_vass::{CoverabilityGraph, Vass};
@@ -19,6 +24,26 @@ use has_workloads::orders::{never_enqueue_property, order_fulfilment, ship_after
 use has_workloads::travel::{
     travel_booking, travel_liveness_property, travel_property, TravelVariant,
 };
+use std::time::Instant;
+
+/// Collects the machine-readable benchmark records alongside the printed
+/// rows. Every experiment runner receives the recorder and pushes one
+/// [`BenchRecord`] per row; `--json <tag>` writes the accumulated set to
+/// `BENCH_<tag>.json` after the selected experiments finish.
+#[derive(Default)]
+struct Recorder {
+    records: Vec<BenchRecord>,
+}
+
+impl Recorder {
+    fn measurement(&mut self, experiment: &str, m: &Measurement) {
+        self.records.push(BenchRecord::from_measurement(experiment, m));
+    }
+
+    fn raw(&mut self, record: BenchRecord) {
+        self.records.push(record);
+    }
+}
 
 fn grid_params(arithmetic: bool) -> Vec<GeneratorParams> {
     let mut out = Vec::new();
@@ -60,29 +85,30 @@ fn table_grid(arithmetic: bool, threads: usize) -> Vec<Measurement> {
     rows
 }
 
-fn exp_table(arithmetic: bool) {
+fn exp_table(name: &str, arithmetic: bool, rec: &mut Recorder) {
     for (_, threads) in engine_modes() {
         for row in table_grid(arithmetic, threads) {
+            rec.measurement(name, &row);
             println!("{}", row.row());
         }
     }
 }
 
-fn exp_table1() {
+fn exp_table1(rec: &mut Recorder) {
     println!("== EXP-T1: Table 1 (no arithmetic) — schema class x artifact relations ==");
     println!("{}", Measurement::header());
-    exp_table(false);
+    exp_table("table1", false, rec);
     println!();
 }
 
-fn exp_table2() {
+fn exp_table2(rec: &mut Recorder) {
     println!("== EXP-T2: Table 2 (with arithmetic) — schema class x artifact relations ==");
     println!("{}", Measurement::header());
-    exp_table(true);
+    exp_table("table2", true, rec);
     println!();
 }
 
-fn exp_travel() {
+fn exp_travel(rec: &mut Recorder) {
     println!("== EXP-F1: travel booking (Appendix A) — buggy vs fixed ==");
     println!("{}", Measurement::header());
     for (_, threads) in engine_modes() {
@@ -95,6 +121,7 @@ fn exp_travel() {
                 &property,
                 fast_config().with_threads(threads),
             );
+            rec.measurement("travel", &row);
             println!("{}", row.row());
         }
         // The orders workload doubles as a second realistic process.
@@ -109,6 +136,7 @@ fn exp_travel() {
                 &property,
                 bench_config().with_threads(threads),
             );
+            rec.measurement("travel", &row);
             println!("{}", row.row());
         }
     }
@@ -126,7 +154,7 @@ fn exp_travel() {
 /// level barriers exposed almost no job supply per level and serialized the
 /// run; the work-stealing scheduler pipelines each task's query jobs with
 /// its parent's build instead (DESIGN.md §5.6).
-fn exp_scaling() {
+fn exp_scaling(rec: &mut Recorder) {
     println!("== EXP-P1: parallel engine scaling — speedup vs thread count ==");
     println!(
         "{:<10} {:>8} {:>14} {:>9} {:>14} {:>9} {:>14} {:>9}",
@@ -169,6 +197,15 @@ fn exp_scaling() {
         let t2 = grid_time(true, threads);
         let td = deep_time(threads);
         let (b1, b2, bd) = *baseline.get_or_insert((t1, t2, td));
+        for (workload, total) in [("table1", t1), ("table2", t2), ("deep-d6w1", td)] {
+            rec.raw(BenchRecord {
+                experiment: "scaling".to_string(),
+                label: format!("{workload}/threads={threads}"),
+                time_ms: total,
+                threads: Some(threads),
+                ..BenchRecord::default()
+            });
+        }
         println!(
             "{:<10} {:>8} {:>14.1} {:>8.2}x {:>14.1} {:>8.2}x {:>14.1} {:>8.2}x",
             threads,
@@ -190,8 +227,21 @@ fn exp_scaling() {
 /// blocking point, and the per-task nested runs down to the originating
 /// task. The verdict and statistics are identical to the retention-off runs
 /// of EXP-F1; only the violation report is richer.
-fn exp_witness() {
+fn exp_witness(rec: &mut Recorder) {
     println!("== EXP-W1: counterexample witness trees — travel (buggy) and orders ==");
+    let record = |rec: &mut Recorder, label: &str, outcome: &Outcome, ms: f64| {
+        rec.raw(BenchRecord {
+            experiment: "witness".to_string(),
+            label: label.to_string(),
+            time_ms: ms,
+            holds: Some(outcome.holds),
+            control_states: Some(outcome.stats.control_states),
+            km_nodes: Some(outcome.stats.coverability_nodes),
+            counter_dims: Some(outcome.stats.counter_dimensions),
+            hcd_cells: Some(outcome.stats.hcd_cells),
+            ..BenchRecord::default()
+        });
+    };
     let print_witness = |label: &str, outcome: &Outcome| {
         println!("{label}:  {outcome}");
         match outcome.violation.as_ref().and_then(|v| v.witness.as_ref()) {
@@ -205,38 +255,47 @@ fn exp_witness() {
     // violated within the bounded budget, so it yields a full witness tree
     // (run prefix + pump cycle + nested child runs).
     let liveness = travel_liveness_property(&t);
+    let start = Instant::now();
     let outcome = Verifier::with_config(
         &t.system,
         &liveness,
         fast_config().with_witnesses(true),
     )
     .verify();
-    print_witness("travel-booking/Buggy vs F(status=PAID)", &outcome);
+    let label = "travel-booking/Buggy vs F(status=PAID)";
+    record(rec, label, &outcome, start.elapsed().as_secs_f64() * 1000.0);
+    print_witness(label, &outcome);
     // The Appendix A.2 policy: its violation search exhausts the bounded
     // coverability budget (the root's 12 counter dimensions), so this line
     // reads `HOLDS` — a *bounded* search result, kept here deliberately so
     // the walkthrough can show what an exhausted budget looks like.
     let property = travel_property(&t);
+    let start = Instant::now();
     let outcome = Verifier::with_config(
         &t.system,
         &property,
         fast_config().with_witnesses(true),
     )
     .verify();
-    print_witness("travel-booking/Buggy vs Appendix A.2 (bounded)", &outcome);
+    let label = "travel-booking/Buggy vs Appendix A.2 (bounded)";
+    record(rec, label, &outcome, start.elapsed().as_secs_f64() * 1000.0);
+    print_witness(label, &outcome);
 
     let o = order_fulfilment();
     let property = never_enqueue_property(&o);
+    let start = Instant::now();
     let outcome = Verifier::with_config(
         &o.system,
         &property,
         bench_config().with_witnesses(true),
     )
     .verify();
-    print_witness("orders/never-enqueue(false)", &outcome);
+    let label = "orders/never-enqueue(false)";
+    record(rec, label, &outcome, start.elapsed().as_secs_f64() * 1000.0);
+    print_witness(label, &outcome);
 }
 
-fn exp_gadget() {
+fn exp_gadget(rec: &mut Recorder) {
     println!("== EXP-F2: Theorem 11 counter gadget — HLTL-FO stays tractable ==");
     println!("{}", Measurement::header());
     for d in [1usize, 2, 3] {
@@ -248,12 +307,13 @@ fn exp_gadget() {
             &property,
             fast_config(),
         );
+        rec.measurement("gadget", &row);
         println!("{}", row.row());
     }
     println!();
 }
 
-fn exp_vass() {
+fn exp_vass(rec: &mut Recorder) {
     println!("== EXP-F3: VASS dimension vs coverability cost ==");
     println!("{:<20} {:>12} {:>12}", "dimension", "km-nodes", "lasso");
     for d in [1usize, 2, 3, 4, 5] {
@@ -267,18 +327,23 @@ fn exp_vass() {
             v.add_action(1, down, 1);
         }
         v.add_action(0, vec![0; d], 1);
+        let start = Instant::now();
         let g = CoverabilityGraph::build(&v, 0);
-        println!(
-            "{:<20} {:>12} {:>12}",
-            d,
-            g.node_count(),
-            v.state_repeated_reachable(0, 0)
-        );
+        let lasso = v.state_repeated_reachable(0, 0);
+        rec.raw(BenchRecord {
+            experiment: "vass".to_string(),
+            label: format!("pump-drain/d={d}"),
+            time_ms: start.elapsed().as_secs_f64() * 1000.0,
+            holds: Some(lasso),
+            km_nodes: Some(g.node_count()),
+            ..BenchRecord::default()
+        });
+        println!("{:<20} {:>12} {:>12}", d, g.node_count(), lasso);
     }
     println!();
 }
 
-fn exp_cells() {
+fn exp_cells(rec: &mut Recorder) {
     println!("== EXP-F4: cell decomposition growth ==");
     println!("{:<20} {:>12}", "numeric vars", "cells");
     for nvars in [1usize, 2, 3, 4, 5] {
@@ -289,14 +354,25 @@ fn exp_cells() {
                 polys.push(LinExpr::var(i) - LinExpr::var(i + 1));
             }
         }
+        let start = Instant::now();
         let cells = CellSet::enumerate(&polys).len();
+        rec.raw(BenchRecord {
+            experiment: "cells".to_string(),
+            label: format!("hcd/nvars={nvars}"),
+            time_ms: start.elapsed().as_secs_f64() * 1000.0,
+            hcd_cells: Some(cells),
+            ..BenchRecord::default()
+        });
         println!("{:<20} {:>12}", nvars, cells);
     }
     println!();
 }
 
+/// An experiment runner: records its rows into the shared recorder.
+type ExperimentFn = fn(&mut Recorder);
+
 /// The accepted experiment names, in execution order, with their runners.
-const EXPERIMENTS: &[(&str, fn())] = &[
+const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("table1", exp_table1),
     ("table2", exp_table2),
     ("travel", exp_travel),
@@ -308,7 +384,28 @@ const EXPERIMENTS: &[(&str, fn())] = &[
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--json <tag>` writes BENCH_<tag>.json next to the working directory
+    // in addition to the printed tables. Parsed (and removed) before the
+    // experiment-name check below.
+    let mut json_tag: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if pos + 1 >= args.len() {
+            eprintln!("error: --json requires a tag argument (e.g. --json pr6)");
+            std::process::exit(2);
+        }
+        let tag = args[pos + 1].clone();
+        let tag_ok = !tag.is_empty()
+            && tag
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+        if !tag_ok {
+            eprintln!("error: --json tag must be non-empty [A-Za-z0-9._-], got {tag:?}");
+            std::process::exit(2);
+        }
+        args.drain(pos..=pos + 1);
+        json_tag = Some(tag);
+    }
     let unknown: Vec<&String> = args
         .iter()
         .filter(|a| EXPERIMENTS.iter().all(|(name, _)| name != a))
@@ -327,9 +424,24 @@ fn main() {
         std::process::exit(2);
     }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let mut recorder = Recorder::default();
     for (name, run) in EXPERIMENTS {
         if want(name) {
-            run();
+            run(&mut recorder);
+        }
+    }
+    if let Some(tag) = json_tag {
+        let path = std::path::PathBuf::from(format!("BENCH_{tag}.json"));
+        match write_records(&path, &tag, &recorder.records) {
+            Ok(()) => eprintln!(
+                "wrote {} record(s) to {}",
+                recorder.records.len(),
+                path.display()
+            ),
+            Err(err) => {
+                eprintln!("error: failed to write {}: {err}", path.display());
+                std::process::exit(1);
+            }
         }
     }
 }

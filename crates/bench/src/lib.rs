@@ -9,6 +9,9 @@
 use has_core::{Outcome, Verifier, VerifierConfig};
 use has_ltl::HltlFormula;
 use has_model::ArtifactSystem;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// The cost measures of one verification run.
@@ -55,6 +58,128 @@ impl Measurement {
             "instance", "result", "thr", "states", "km-nodes", "dims", "cells", "time(ms)"
         )
     }
+}
+
+/// One machine-readable benchmark record: a row of an experiment, with the
+/// cost columns that apply to it. Rows that do not run the verifier (the
+/// VASS and cell-decomposition sweeps) leave the inapplicable columns
+/// `None`, and the JSON writer omits them.
+#[derive(Clone, Debug, Default)]
+pub struct BenchRecord {
+    /// Experiment name (`table2`, `vass`, …) as accepted by the `tables`
+    /// binary.
+    pub experiment: String,
+    /// Row label within the experiment.
+    pub label: String,
+    /// Wall-clock time of the row, in milliseconds.
+    pub time_ms: f64,
+    /// Whether the verified property holds (verifier rows only).
+    pub holds: Option<bool>,
+    /// Worker threads (verifier rows only).
+    pub threads: Option<usize>,
+    /// Symbolic control states (verifier rows only).
+    pub control_states: Option<usize>,
+    /// Karp–Miller coverability nodes.
+    pub km_nodes: Option<usize>,
+    /// Counter dimensions (verifier rows only).
+    pub counter_dims: Option<usize>,
+    /// HCD cells (verifier and cell-sweep rows).
+    pub hcd_cells: Option<usize>,
+}
+
+impl BenchRecord {
+    /// A record carrying the full verifier measurement.
+    pub fn from_measurement(experiment: &str, m: &Measurement) -> Self {
+        BenchRecord {
+            experiment: experiment.to_string(),
+            label: m.label.clone(),
+            time_ms: m.time.as_secs_f64() * 1000.0,
+            holds: Some(m.holds),
+            threads: Some(m.threads),
+            control_states: Some(m.control_states),
+            km_nodes: Some(m.coverability_nodes),
+            counter_dims: Some(m.counter_dimensions),
+            hcd_cells: Some(m.hcd_cells),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"experiment\":{},\"label\":{},\"time_ms\":{:.3}",
+            json_string(&self.experiment),
+            json_string(&self.label),
+            self.time_ms
+        );
+        if let Some(holds) = self.holds {
+            let _ = write!(out, ",\"holds\":{holds}");
+        }
+        if let Some(threads) = self.threads {
+            let _ = write!(out, ",\"threads\":{threads}");
+        }
+        if let Some(states) = self.control_states {
+            let _ = write!(out, ",\"control_states\":{states}");
+        }
+        if let Some(nodes) = self.km_nodes {
+            let _ = write!(out, ",\"km_nodes\":{nodes}");
+        }
+        if let Some(dims) = self.counter_dims {
+            let _ = write!(out, ",\"counter_dims\":{dims}");
+        }
+        if let Some(cells) = self.hcd_cells {
+            let _ = write!(out, ",\"hcd_cells\":{cells}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal (hand-rolled: the workspace
+/// build carries no serialization dependency).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes a record set as the `BENCH_<tag>.json` document: a top-level
+/// object with the schema marker, the tag, and one record object per row.
+pub fn records_to_json(tag: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"schema\": \"has-bench-records/1\",\n  \"tag\": {},\n  \"records\": [",
+        json_string(tag)
+    );
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&r.to_json());
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes the `BENCH_<tag>.json` document to `path`.
+pub fn write_records(path: &Path, tag: &str, records: &[BenchRecord]) -> io::Result<()> {
+    std::fs::write(path, records_to_json(tag, records))
 }
 
 /// Runs the verifier on one instance and collects the measurement.

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod compiled;
 pub mod outcome;
 mod parallel;
 pub mod property;

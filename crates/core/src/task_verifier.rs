@@ -1,6 +1,7 @@
 //! Per-task symbolic exploration: construction of the VASS `V(T, β)` and
 //! computation of the relation `R_T` (Section 4.2, Lemma 21).
 
+use crate::compiled::CompiledBuchi;
 use crate::outcome::{Stats, WitnessStep};
 use crate::verifier::VerifierConfig;
 use has_ltl::buchi::{Buchi, BuchiState};
@@ -10,8 +11,8 @@ use has_model::{
     ArtifactSystem, Condition, ServiceRef, TaskId, VarId, VarSort,
 };
 use has_symbolic::{transfer_pattern, ProjectionKey, SymState, TaskContext};
-use has_vass::{CoverabilityGraph, CycleSearch, Vass};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use has_vass::{BitSet, CoverabilityGraph, CycleSearch, FxHashMap, Interner, Vass};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// The bottom-up store of completed task summaries the verifier threads
@@ -143,27 +144,63 @@ impl TaskSummary {
 }
 
 /// Status of a child task within a segment of the parent's run.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 enum ChildStatus {
-    /// Opened and not yet returned; `output` is the promised output state
-    /// (`None` = the chosen child run never returns).
-    Active { output: Option<SymState> },
+    /// Opened and not yet returned; `output` is the promised output state as
+    /// a dense id into the exploration's symbolic-state arena (`None` = the
+    /// chosen child run never returns).
+    Active { output: Option<u32> },
     /// Returned within the current segment.
     Closed,
 }
 
+/// One flat transition of the product under construction: source control
+/// state, sparse counter deltas as `(dim, amount)` pairs, target control
+/// state.
+type FlatTransition = (u32, Vec<(u32, i64)>, u32);
+
 /// A control state of `V(T, β)`.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+///
+/// Symbolic states are held as dense ids into the exploration's
+/// [`Interner`]-backed arena (equal states share an id, so id equality is
+/// exactly the structural equality the former `SymState`-carrying
+/// representation compared); children are a `Vec` kept sorted by [`TaskId`],
+/// which preserves the iteration order and equality of the former
+/// `BTreeMap` while making the whole control state a few words to clone and
+/// hash.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct CState {
-    sym: SymState,
+    /// Dense id of the symbolic state in the exploration's arena.
+    sym: u32,
     q: BuchiState,
-    children: BTreeMap<TaskId, ChildStatus>,
+    /// Child statuses, sorted by task id.
+    children: Vec<(TaskId, ChildStatus)>,
     /// Set when the task's own closing service has been applied (terminal).
     closed: bool,
     /// Index of the initial input state this control state originated from
     /// (keeps runs originating from different inputs separate, as the paper
     /// does by fixing `τ_in` per query).
     input_index: usize,
+}
+
+impl CState {
+    /// The status of a child, if it has been opened in this segment.
+    fn child_status(&self, child: TaskId) -> Option<ChildStatus> {
+        self.children
+            .binary_search_by_key(&child, |&(c, _)| c)
+            .ok()
+            .map(|i| self.children[i].1)
+    }
+
+    /// The child list with `child` set to `status`, preserving the sort.
+    fn with_child(&self, child: TaskId, status: ChildStatus) -> Vec<(TaskId, ChildStatus)> {
+        let mut children = self.children.clone();
+        match children.binary_search_by_key(&child, |&(c, _)| c) {
+            Ok(i) => children[i].1 = status,
+            Err(i) => children.insert(i, (child, status)),
+        }
+        children
+    }
 }
 
 /// Explores one `(T, β)` pair and contributes entries to `R_T`.
@@ -174,6 +211,9 @@ pub struct TaskVerifier<'a> {
     task: TaskId,
     beta: Vec<bool>,
     buchi: &'a Buchi<TaskProp>,
+    /// The automaton compiled to bitset masks over `props` — what the hot
+    /// letter-stepping loops consult instead of `buchi`.
+    cbuchi: CompiledBuchi,
     props: Vec<TaskProp>,
     /// Snapshot of the completed child summaries this exploration reads.
     /// Owned (not borrowed) so the readiness scheduler can keep a verifier
@@ -204,6 +244,7 @@ impl<'a> TaskVerifier<'a> {
             .collect();
         props.sort();
         props.dedup();
+        let cbuchi = CompiledBuchi::new(buchi, &props);
         TaskVerifier {
             system,
             config,
@@ -211,6 +252,7 @@ impl<'a> TaskVerifier<'a> {
             task,
             beta,
             buchi,
+            cbuchi,
             props,
             children,
             child_contexts,
@@ -269,7 +311,7 @@ impl<'a> TaskVerifier<'a> {
                                 if w == v {
                                     break;
                                 }
-                                if s.binding_of(w) == Some(rel) {
+                                if s.binding_of(self.ctx, w) == Some(rel) {
                                     let mut e = s.clone();
                                     e.bind(self.ctx, v, Some(rel));
                                     if e
@@ -458,14 +500,16 @@ impl<'a> TaskVerifier<'a> {
         pairs.truncate(self.config.max_merge_pairs);
         let mut out = vec![state.clone()];
         for (i, j) in pairs {
-            let mut next = out.clone();
-            for s in &out {
-                let mut m = s.clone();
+            // Append the merged variants in place: `dedup` sorts, so the
+            // interleaving of originals and merged states is immaterial.
+            let unmerged = out.len();
+            for k in 0..unmerged {
+                let mut m = out[k].clone();
                 if m.union(self.ctx, i, j).is_ok() {
-                    next.push(m);
+                    out.push(m);
                 }
             }
-            out = Self::dedup(next);
+            out = Self::dedup(out);
             if out.len() > self.config.max_successors {
                 out.truncate(self.config.max_successors);
                 break;
@@ -481,63 +525,62 @@ impl<'a> TaskVerifier<'a> {
     /// The truth assignments ("letters") compatible with observing `service`
     /// in state `sym`, branching over propositions left undetermined by the
     /// abstraction (arithmetic atoms when cell tracking is disabled).
+    ///
+    /// A letter is a word-packed truth assignment over the canonical sorted
+    /// proposition list `self.props` (bit `i` ⇔ `props[i]` holds; absent —
+    /// i.e. truncated-unknown — propositions read as `false`, exactly as the
+    /// former map representation defaulted missing entries). Letters are
+    /// produced in enumeration-mask order with `unknown` bits assigned in
+    /// proposition order, matching the former enumeration exactly.
     fn letters(
         &self,
         sym: &SymState,
         service: ServiceRef,
         child_choice: Option<(TaskId, &[bool])>,
-    ) -> Vec<BTreeMap<TaskProp, bool>> {
-        let mut determined: BTreeMap<TaskProp, bool> = BTreeMap::new();
-        let mut unknown: Vec<TaskProp> = Vec::new();
-        for p in &self.props {
-            match p {
+    ) -> Vec<Box<[u64]>> {
+        let mut base = vec![0u64; self.cbuchi.words()];
+        let mut unknown: Vec<usize> = Vec::new();
+        for (bit, p) in self.props.iter().enumerate() {
+            let value = match p {
                 TaskProp::Condition(c) => match sym.satisfies(self.ctx, c, &Self::no_arith) {
-                    Some(b) => {
-                        determined.insert(p.clone(), b);
+                    Some(b) => b,
+                    None => {
+                        unknown.push(bit);
+                        false
                     }
-                    None => unknown.push(p.clone()),
                 },
-                TaskProp::Service(s) => {
-                    determined.insert(p.clone(), *s == service);
-                }
-                TaskProp::Child { child, phi_index } => {
-                    let value = match (child_choice, service) {
-                        (Some((chosen, beta)), ServiceRef::Opening(opened))
-                            if opened == *child && chosen == *child =>
-                        {
-                            beta.get(*phi_index).copied().unwrap_or(false)
-                        }
-                        _ => false,
-                    };
-                    determined.insert(p.clone(), value);
-                }
+                TaskProp::Service(s) => *s == service,
+                TaskProp::Child { child, phi_index } => match (child_choice, service) {
+                    (Some((chosen, beta)), ServiceRef::Opening(opened))
+                        if opened == *child && chosen == *child =>
+                    {
+                        beta.get(*phi_index).copied().unwrap_or(false)
+                    }
+                    _ => false,
+                },
+            };
+            if value {
+                base[bit / 64] |= 1u64 << (bit % 64);
             }
         }
-        let unknown = if unknown.len() > self.config.max_unknown_props {
-            unknown[..self.config.max_unknown_props].to_vec()
-        } else {
-            unknown
-        };
+        unknown.truncate(self.config.max_unknown_props);
         let mut letters = Vec::with_capacity(1 << unknown.len());
         for mask in 0..(1usize << unknown.len()) {
-            let mut letter = determined.clone();
-            for (i, p) in unknown.iter().enumerate() {
-                letter.insert(p.clone(), mask & (1 << i) != 0);
+            let mut letter = base.clone();
+            for (i, &bit) in unknown.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    letter[bit / 64] |= 1u64 << (bit % 64);
+                }
             }
-            letters.push(letter);
+            letters.push(letter.into_boxed_slice());
         }
         letters
     }
 
-    fn step_buchi(
-        &self,
-        q: Option<BuchiState>,
-        letter: &BTreeMap<TaskProp, bool>,
-    ) -> Vec<BuchiState> {
-        let assignment = |p: &TaskProp| letter.get(p).copied().unwrap_or(false);
+    fn step_buchi(&self, q: Option<BuchiState>, letter: &[u64]) -> Vec<BuchiState> {
         match q {
-            None => self.buchi.initial_successors(assignment),
-            Some(q) => self.buchi.step(q, assignment),
+            None => self.cbuchi.initial_successors(letter),
+            Some(q) => self.cbuchi.step(q, letter),
         }
     }
 
@@ -718,11 +761,20 @@ impl<'a> TaskVerifier<'a> {
         };
 
         let inputs = self.enumerate_inputs();
-        let mut states: Vec<CState> = Vec::new();
-        let mut index: BTreeMap<CState, usize> = BTreeMap::new();
-        let mut counter_dims: BTreeMap<ProjectionKey, usize> = BTreeMap::new();
-        // Transitions: (from, delta as map dim->i64, to)
-        let mut transitions: Vec<(usize, BTreeMap<usize, i64>, usize)> = Vec::new();
+        // Dense arenas: symbolic states and control states are interned once
+        // into insertion-ordered ids ([`Interner`]); all hot-loop identity
+        // checks compare ids. Ids are assigned in worklist discovery order —
+        // the same order the former `BTreeMap<CState, usize>` assigned them —
+        // which is the canonical order of DESIGN.md §5.6/§5.8.
+        let mut syms: Interner<SymState> = Interner::new();
+        let mut cstates: Interner<CState> = Interner::new();
+        // Counter dimensions in first-encounter order; the map is
+        // lookup-only (never iterated), so deterministic hashing suffices.
+        let mut counter_dims: FxHashMap<ProjectionKey, usize> = FxHashMap::default();
+        // Transitions: (from, delta as sparse (dim, amount) pairs, to). A
+        // service contributes at most one insert and one retrieve, so a flat
+        // two-entry vector replaces the former per-transition `BTreeMap`.
+        let mut transitions: Vec<FlatTransition> = Vec::new();
         let mut initial_states: Vec<usize> = Vec::new();
         let mut input_keys: Vec<ProjectionKey> = Vec::new();
         // Witness retention: one rendered step label per transition (and per
@@ -731,43 +783,43 @@ impl<'a> TaskVerifier<'a> {
         let retain = self.config.witnesses;
         let mut labels: Vec<WitnessStep> = Vec::new();
 
-        let intern = |state: CState,
-                          states: &mut Vec<CState>,
-                          index: &mut BTreeMap<CState, usize>|
-         -> usize {
-            if let Some(&i) = index.get(&state) {
-                return i;
+        // Accumulates a counter bump into the sparse delta.
+        let bump = |delta: &mut Vec<(u32, i64)>, dim: usize, amount: i64| {
+            let dim = dim as u32;
+            match delta.iter_mut().find(|(d, _)| *d == dim) {
+                Some((_, a)) => *a += amount,
+                None => delta.push((dim, amount)),
             }
-            let i = states.len();
-            states.push(state.clone());
-            index.insert(state, i);
-            i
         };
 
         // Initial states: step the Büchi automaton on the opening letter.
         for (input_index, input) in inputs.iter().enumerate() {
             input_keys.push(input.project_vars(self.ctx, &t.input_vars));
+            let sym_id = syms.intern(input.clone()).0;
             for letter in self.letters(input, ServiceRef::Opening(self.task), None) {
                 for q in self.step_buchi(None, &letter) {
                     let c = CState {
-                        sym: input.clone(),
+                        sym: sym_id,
                         q,
-                        children: BTreeMap::new(),
+                        children: Vec::new(),
                         closed: false,
                         input_index,
                     };
-                    let id = intern(c, &mut states, &mut index);
-                    if !initial_states.contains(&id) {
-                        initial_states.push(id);
+                    let (id, newly) = cstates.intern(c);
+                    if newly {
+                        initial_states.push(id as usize);
                     }
                 }
             }
         }
 
         // Forward exploration of the control-state graph (counter validity is
-        // decided later by the coverability queries).
-        let mut worklist: VecDeque<usize> = initial_states.iter().copied().collect();
-        let mut seen_in_worklist: BTreeSet<usize> = worklist.iter().copied().collect();
+        // decided later by the coverability queries). A state enters the
+        // worklist exactly when it is newly interned (every enqueued state
+        // is interned at creation, so "newly interned" ⇔ the former
+        // `seen_in_worklist` insert succeeding); terminal `closed` states
+        // are interned but never enqueued.
+        let mut worklist: VecDeque<u32> = initial_states.iter().map(|&i| i as u32).collect();
         let ts_vars: Vec<VarId> = {
             let mut v: Vec<VarId> = t.input_vars.clone();
             if let Some(ar) = &t.artifact_relation {
@@ -780,69 +832,76 @@ impl<'a> TaskVerifier<'a> {
 
         // Post-state enumeration is the expensive step and depends only on
         // the symbolic state and the service, not on the Büchi/children
-        // components of the control state: memoize it.
-        let mut post_cache: BTreeMap<(SymState, usize), Vec<SymState>> = BTreeMap::new();
+        // components of the control state: memoize it, keyed by dense sym
+        // id (id equality is structural equality within the arena).
+        let mut post_cache: FxHashMap<(u32, usize), Vec<u32>> = FxHashMap::default();
         while let Some(id) = worklist.pop_front() {
-            if states.len() > self.config.max_control_states {
+            if cstates.len() > self.config.max_control_states {
                 break;
             }
-            let current = states[id].clone();
+            let current = cstates.get(id).clone();
             if current.closed {
                 continue;
             }
             let has_active_children = current
                 .children
-                .values()
-                .any(|c| matches!(c, ChildStatus::Active { .. }));
+                .iter()
+                .any(|(_, c)| matches!(c, ChildStatus::Active { .. }));
 
             // --- Internal services -------------------------------------
             if !has_active_children {
                 for (service_idx, service) in t.internal_services.iter().enumerate() {
-                    if !self.sat_optimistic(&current.sym, &service.pre) {
+                    if !self.sat_optimistic(syms.get(current.sym), &service.pre) {
                         continue;
                     }
-                    let cache_key = (current.sym.clone(), service_idx);
-                    let posts = post_cache
-                        .entry(cache_key)
-                        .or_insert_with(|| {
-                            self.enumerate_post_states(&current.sym, &service.post)
-                        })
-                        .clone();
-                    for post_state in posts {
+                    let cache_key = (current.sym, service_idx);
+                    let posts: Vec<u32> = match post_cache.get(&cache_key) {
+                        Some(ids) => ids.clone(),
+                        None => {
+                            let list = self
+                                .enumerate_post_states(syms.get(current.sym), &service.post);
+                            let ids: Vec<u32> =
+                                list.into_iter().map(|s| syms.intern(s).0).collect();
+                            post_cache.insert(cache_key, ids.clone());
+                            ids
+                        }
+                    };
+                    for post_id in posts {
                         // Counter update (Definition 17's a̅ vector).
-                        let mut delta: BTreeMap<usize, i64> = BTreeMap::new();
+                        let mut delta: Vec<(u32, i64)> = Vec::new();
                         if t.artifact_relation.is_some() {
                             if service.delta.inserts() {
-                                let key = current.sym.project_vars(self.ctx, &ts_vars);
+                                let key =
+                                    syms.get(current.sym).project_vars(self.ctx, &ts_vars);
                                 let dims = counter_dims.len();
                                 let dim = *counter_dims.entry(key).or_insert(dims);
-                                *delta.entry(dim).or_insert(0) += 1;
+                                bump(&mut delta, dim, 1);
                             }
                             if service.delta.retrieves() {
-                                let key = post_state.project_vars(self.ctx, &ts_vars);
+                                let key = syms.get(post_id).project_vars(self.ctx, &ts_vars);
                                 let dims = counter_dims.len();
                                 let dim = *counter_dims.entry(key).or_insert(dims);
-                                *delta.entry(dim).or_insert(0) -= 1;
+                                bump(&mut delta, dim, -1);
                             }
                         }
                         let sref = ServiceRef::Internal(self.task, service_idx);
-                        for letter in self.letters(&post_state, sref, None) {
+                        for letter in self.letters(syms.get(post_id), sref, None) {
                             for q in self.step_buchi(Some(current.q), &letter) {
                                 let next = CState {
-                                    sym: post_state.clone(),
+                                    sym: post_id,
                                     q,
-                                    children: BTreeMap::new(),
+                                    children: Vec::new(),
                                     closed: false,
                                     input_index: current.input_index,
                                 };
-                                let nid = intern(next, &mut states, &mut index);
+                                let (nid, newly) = cstates.intern(next);
                                 transitions.push((id, delta.clone(), nid));
                                 if retain {
                                     labels.push(WitnessStep::Internal {
                                         service: service.name.clone(),
                                     });
                                 }
-                                if seen_in_worklist.insert(nid) {
+                                if newly {
                                     worklist.push_back(nid);
                                 }
                             }
@@ -853,35 +912,32 @@ impl<'a> TaskVerifier<'a> {
 
             // --- Opening a child ----------------------------------------
             for &child in &t.children {
-                if current.children.contains_key(&child) {
+                if current.child_status(child).is_some() {
                     continue;
                 }
                 let opening_pre = &schema.task(child).opening.pre;
-                if !self.sat_optimistic(&current.sym, opening_pre) {
+                if !self.sat_optimistic(syms.get(current.sym), opening_pre) {
                     continue;
                 }
-                let (_, child_key) = self.child_input(&current.sym, child);
+                let (_, child_key) = self.child_input(syms.get(current.sym), child);
                 let summary = &self.children[&child];
                 for entry in summary.matching(&child_key) {
+                    let out_id = entry.output.as_ref().map(|s| syms.intern(s.clone()).0);
                     let sref = ServiceRef::Opening(child);
-                    for letter in self.letters(&current.sym, sref, Some((child, &entry.beta))) {
+                    for letter in
+                        self.letters(syms.get(current.sym), sref, Some((child, &entry.beta)))
+                    {
                         for q in self.step_buchi(Some(current.q), &letter) {
-                            let mut children = current.children.clone();
-                            children.insert(
-                                child,
-                                ChildStatus::Active {
-                                    output: entry.output.clone(),
-                                },
-                            );
                             let next = CState {
-                                sym: current.sym.clone(),
+                                sym: current.sym,
                                 q,
-                                children,
+                                children: current
+                                    .with_child(child, ChildStatus::Active { output: out_id }),
                                 closed: false,
                                 input_index: current.input_index,
                             };
-                            let nid = intern(next, &mut states, &mut index);
-                            transitions.push((id, BTreeMap::new(), nid));
+                            let (nid, newly) = cstates.intern(next);
+                            transitions.push((id, Vec::new(), nid));
                             if retain {
                                 labels.push(WitnessStep::OpenChild {
                                     child,
@@ -891,7 +947,7 @@ impl<'a> TaskVerifier<'a> {
                                     output: entry.output.clone(),
                                 });
                             }
-                            if seen_in_worklist.insert(nid) {
+                            if newly {
                                 worklist.push_back(nid);
                             }
                         }
@@ -900,32 +956,33 @@ impl<'a> TaskVerifier<'a> {
             }
 
             // --- Closing a child ----------------------------------------
-            for (&child, status) in &current.children {
+            for &(child, status) in &current.children {
                 let ChildStatus::Active { output: Some(out) } = status else {
                     continue;
                 };
-                let new_sym = self.apply_return(&current.sym, child, out);
+                let new_sym =
+                    self.apply_return(syms.get(current.sym), child, syms.get(out));
                 let sref = ServiceRef::Closing(child);
-                for letter in self.letters(&new_sym, sref, None) {
+                let letters = self.letters(&new_sym, sref, None);
+                let new_sym_id = syms.intern(new_sym).0;
+                for letter in letters {
                     for q in self.step_buchi(Some(current.q), &letter) {
-                        let mut children = current.children.clone();
-                        children.insert(child, ChildStatus::Closed);
                         let next = CState {
-                            sym: new_sym.clone(),
+                            sym: new_sym_id,
                             q,
-                            children,
+                            children: current.with_child(child, ChildStatus::Closed),
                             closed: false,
                             input_index: current.input_index,
                         };
-                        let nid = intern(next, &mut states, &mut index);
-                        transitions.push((id, BTreeMap::new(), nid));
+                        let (nid, newly) = cstates.intern(next);
+                        transitions.push((id, Vec::new(), nid));
                         if retain {
                             labels.push(WitnessStep::CloseChild {
                                 child,
                                 child_name: schema.task(child).name.clone(),
                             });
                         }
-                        if seen_in_worklist.insert(nid) {
+                        if newly {
                             worklist.push_back(nid);
                         }
                     }
@@ -935,20 +992,20 @@ impl<'a> TaskVerifier<'a> {
             // --- Closing the task itself --------------------------------
             if self.task != schema.root
                 && !has_active_children
-                && self.sat_optimistic(&current.sym, &t.closing.pre)
+                && self.sat_optimistic(syms.get(current.sym), &t.closing.pre)
             {
                 let sref = ServiceRef::Closing(self.task);
-                for letter in self.letters(&current.sym, sref, None) {
+                for letter in self.letters(syms.get(current.sym), sref, None) {
                     for q in self.step_buchi(Some(current.q), &letter) {
                         let next = CState {
-                            sym: current.sym.clone(),
+                            sym: current.sym,
                             q,
                             children: current.children.clone(),
                             closed: true,
                             input_index: current.input_index,
                         };
-                        let nid = intern(next, &mut states, &mut index);
-                        transitions.push((id, BTreeMap::new(), nid));
+                        let (nid, _) = cstates.intern(next);
+                        transitions.push((id, Vec::new(), nid));
                         if retain {
                             labels.push(WitnessStep::CloseTask);
                         }
@@ -958,6 +1015,8 @@ impl<'a> TaskVerifier<'a> {
             }
         }
 
+        let states = cstates.into_items();
+        let syms = syms.into_items();
         stats.control_states = states.len();
         stats.transitions = transitions.len();
         stats.counter_dimensions = counter_dims.len();
@@ -969,18 +1028,18 @@ impl<'a> TaskVerifier<'a> {
         let mut vass = Vass::new(states.len(), dim);
         for (from, delta, to) in &transitions {
             let mut d = vec![0i64; dim];
-            for (&k, &v) in delta {
-                d[k] = v;
+            for &(k, v) in delta {
+                d[k as usize] = v;
             }
-            vass.add_action(*from, d, *to);
+            vass.add_action(*from as usize, d, *to as usize);
         }
 
-        let accepting: BTreeSet<usize> = states
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.closed && self.buchi.accepting().contains(&s.q))
-            .map(|(i, _)| i)
-            .collect();
+        let mut accepting = BitSet::new(states.len());
+        for (i, s) in states.iter().enumerate() {
+            if !s.closed && self.cbuchi.is_accepting(s.q) {
+                accepting.insert(i);
+            }
+        }
 
         // The variables a parent can observe in a returning run's output
         // (the paper's τ_out projection target).
@@ -994,6 +1053,7 @@ impl<'a> TaskVerifier<'a> {
 
         ExploredGraph {
             states,
+            syms,
             vass,
             initial_states,
             input_keys,
@@ -1020,7 +1080,7 @@ impl<'a> TaskVerifier<'a> {
         let input_key = graph.input_keys[states[init].input_index].clone();
         let cover = CoverabilityGraph::build_capped(&graph.vass, init, self.config.km_node_cap);
         let mut candidates: Vec<RtEntry> = Vec::new();
-        let finite_ok = |s: &CState| self.buchi.finite_accepting().contains(&s.q);
+        let finite_ok = |s: &CState| self.cbuchi.is_finite_accepting(s.q);
 
         // Witness retention: the run realization of a candidate is the label
         // sequence of its Karp–Miller path (actions and transitions share
@@ -1051,7 +1111,8 @@ impl<'a> TaskVerifier<'a> {
         for (node_id, node) in cover.nodes().enumerate() {
             let cs = &states[node.state];
             if cs.closed && finite_ok(cs) {
-                let projected = self.project_output(&cs.sym, &graph.out_vars);
+                let projected =
+                    self.project_output(&graph.syms[cs.sym as usize], &graph.out_vars);
                 candidates.push(RtEntry {
                     input_key: input_key.clone(),
                     output: Some(projected),
@@ -1066,8 +1127,8 @@ impl<'a> TaskVerifier<'a> {
             let cs = &states[node.state];
             let blocking_child = cs
                 .children
-                .values()
-                .any(|c| matches!(c, ChildStatus::Active { output: None }));
+                .iter()
+                .any(|(_, c)| matches!(c, ChildStatus::Active { output: None }));
             if !cs.closed && blocking_child && finite_ok(cs) {
                 candidates.push(RtEntry {
                     input_key: input_key.clone(),
@@ -1090,8 +1151,8 @@ impl<'a> TaskVerifier<'a> {
         // cycle, the Karp–Miller path to its start node labels the prefix;
         // a walk past the materialization cap truncates the rendering only,
         // never the decision.
-        if !graph.accepting.is_empty() {
-            let accepting = |s: usize| graph.accepting.contains(&s);
+        if graph.accepting.any() {
+            let accepting = |s: usize| graph.accepting.contains(s);
             let (lasso, details) = if retain {
                 match cover.nonneg_cycle_search_through_pred(
                     &graph.vass,
@@ -1192,10 +1253,13 @@ impl<'a> TaskVerifier<'a> {
 /// per-initial-state Lemma 21 queries out across workers.
 pub struct ExploredGraph {
     states: Vec<CState>,
+    /// Arena of distinct symbolic states, indexed by the dense ids held in
+    /// [`CState::sym`] and [`ChildStatus::Active`].
+    syms: Vec<SymState>,
     vass: Vass,
     initial_states: Vec<usize>,
     input_keys: Vec<ProjectionKey>,
-    accepting: BTreeSet<usize>,
+    accepting: BitSet,
     out_vars: Vec<VarId>,
     stats: Stats,
     /// One rendered step per transition/VASS action, in creation order —

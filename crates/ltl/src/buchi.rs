@@ -391,6 +391,29 @@ impl<P: Clone + Eq + Hash + Ord> Buchi<P> {
         &self.finite_accepting
     }
 
+    /// The initial states, in ascending state order. This is the order
+    /// [`Buchi::initial_successors`] filters, which makes it the canonical
+    /// order for compiled representations that must reproduce it.
+    pub fn initial(&self) -> impl Iterator<Item = BuchiState> + '_ {
+        self.initial.iter().copied()
+    }
+
+    /// The outgoing transitions of a state, in construction order — the
+    /// order [`Buchi::step`] filters. Compiled representations must preserve
+    /// this order to keep downstream explorations deterministic.
+    pub fn transitions_from(&self, state: BuchiState) -> &[(Label<P>, BuchiState)] {
+        self.transitions
+            .get(&state)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+    }
+
+    /// The literal label that must hold when a run *enters* `state` — the
+    /// label [`Buchi::initial_successors`] checks against the first letter.
+    pub fn entry_label(&self, state: BuchiState) -> &Label<P> {
+        self.state_label(state)
+    }
+
     /// States reachable by reading the *first* letter of a word.
     pub fn initial_successors<F>(&self, mut assignment: F) -> Vec<BuchiState>
     where

@@ -41,6 +41,21 @@ pub struct TaskContext {
     /// freshly written variable's value).
     pub related: Vec<BTreeSet<usize>>,
     expr_index: BTreeMap<Expr, usize>,
+    /// The ID variables in ascending order — the fixed key sequence of every
+    /// state's flat binding vector.
+    id_vars: Vec<VarId>,
+    /// One past the largest attribute index appearing in any navigation.
+    max_attr: usize,
+    /// Indices of constant expressions (`0` and named constants), ascending.
+    const_idxs: Vec<usize>,
+    /// Child table for navigation expressions: `nav_child[i][attr]` is the
+    /// index of the expression extending `exprs[i]` by `attr`, if present.
+    /// Empty for non-navigation expressions.
+    nav_child: Vec<Vec<Option<usize>>>,
+    /// Child tables for ID-variable expressions, one `(rel, children)` entry
+    /// per candidate binding, sorted by relation. Empty for other
+    /// expressions.
+    var_child: Vec<Vec<(RelationId, Vec<Option<usize>>)>>,
 }
 
 impl TaskContext {
@@ -259,6 +274,73 @@ impl TaskContext {
             }
         }
 
+        // Precomputed lookup tables for the hot paths of the congruence
+        // closure: attribute children per expression and the constant
+        // expression indices, so `union` never re-derives them by probing
+        // the expression index with freshly allocated keys.
+        let id_vars: Vec<VarId> = id_var_bindings.keys().copied().collect();
+        let max_attr = exprs
+            .iter()
+            .filter_map(|e| match e {
+                Expr::Nav { path, .. } => path.iter().max().copied(),
+                _ => None,
+            })
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        let const_idxs: Vec<usize> = exprs
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, Expr::Const(_) | Expr::Zero))
+            .map(|(i, _)| i)
+            .collect();
+        let mut nav_child: Vec<Vec<Option<usize>>> = vec![Vec::new(); exprs.len()];
+        let mut var_child: Vec<Vec<(RelationId, Vec<Option<usize>>)>> =
+            vec![Vec::new(); exprs.len()];
+        for (i, e) in exprs.iter().enumerate() {
+            match e {
+                Expr::Nav { var, rel, path } => {
+                    nav_child[i] = (0..max_attr)
+                        .map(|attr| {
+                            let mut p = path.clone();
+                            p.push(attr);
+                            expr_index
+                                .get(&Expr::Nav {
+                                    var: *var,
+                                    rel: *rel,
+                                    path: p,
+                                })
+                                .copied()
+                        })
+                        .collect();
+                }
+                Expr::Var(v) => {
+                    if let Some(rels) = id_var_bindings.get(v) {
+                        let mut per: Vec<(RelationId, Vec<Option<usize>>)> = rels
+                            .iter()
+                            .map(|&rel| {
+                                let children = (0..max_attr)
+                                    .map(|attr| {
+                                        expr_index
+                                            .get(&Expr::Nav {
+                                                var: *v,
+                                                rel,
+                                                path: vec![attr],
+                                            })
+                                            .copied()
+                                    })
+                                    .collect();
+                                (rel, children)
+                            })
+                            .collect();
+                        per.sort_by_key(|(rel, _)| *rel);
+                        var_child[i] = per;
+                    }
+                }
+                _ => {}
+            }
+        }
+
         TaskContext {
             task,
             exprs,
@@ -268,6 +350,11 @@ impl TaskContext {
             id_var_bindings,
             related,
             expr_index,
+            id_vars,
+            max_attr,
+            const_idxs,
+            nav_child,
+            var_child,
         }
     }
 
@@ -345,6 +432,45 @@ impl TaskContext {
             }
             _ => None,
         }
+    }
+
+    /// The task's ID variables in ascending order: the fixed key sequence
+    /// that every state's flat binding vector is parallel to.
+    pub fn id_vars(&self) -> &[VarId] {
+        &self.id_vars
+    }
+
+    /// The position of an ID variable in [`TaskContext::id_vars`] (and hence
+    /// in every state's binding vector), if it is one.
+    pub fn id_var_pos(&self, v: VarId) -> Option<usize> {
+        self.id_vars.binary_search(&v).ok()
+    }
+
+    /// One past the largest attribute index appearing in any navigation of
+    /// the universe.
+    pub fn max_attr(&self) -> usize {
+        self.max_attr
+    }
+
+    /// Indices of the constant expressions (`0` and named constants), in
+    /// ascending order.
+    pub fn const_exprs(&self) -> &[usize] {
+        &self.const_idxs
+    }
+
+    /// The child of a navigation expression along `attr`, from the
+    /// precomputed table (`None` for non-navigation expressions or absent
+    /// children).
+    pub fn child_of_nav(&self, idx: usize, attr: usize) -> Option<usize> {
+        self.nav_child[idx].get(attr).copied().flatten()
+    }
+
+    /// The child of an ID-variable expression along `attr` under binding
+    /// `rel`, from the precomputed table.
+    pub fn child_of_var(&self, idx: usize, rel: RelationId, attr: usize) -> Option<usize> {
+        let per = &self.var_child[idx];
+        let entry = per.binary_search_by_key(&rel, |(r, _)| *r).ok()?;
+        per[entry].1.get(attr).copied().flatten()
     }
 
     /// The candidate relations an ID variable can be bound to.

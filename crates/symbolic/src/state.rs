@@ -15,7 +15,7 @@ use crate::context::TaskContext;
 use crate::expr::{Expr, Sort};
 use has_model::{ArtifactSchema, Atom, Condition, RelationId, Term, VarId, VarSort};
 use has_arith::LinearConstraint;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Class id marking a dead expression (navigation whose anchor variable is
 /// not bound to the navigation's relation).
@@ -32,9 +32,15 @@ pub type ProjectionKey = Vec<u32>;
 pub struct SymState {
     /// Class id per universe expression (`DEAD` for dead navigations).
     class: Vec<u32>,
-    /// Binding per ID variable (parallel to the context's
-    /// `id_var_bindings` iteration order): `None` = null.
-    binding: BTreeMap<VarId, Option<RelationId>>,
+    /// Binding per ID variable, parallel to the context's sorted
+    /// [`TaskContext::id_vars`] sequence: `None` = null.
+    ///
+    /// The flat vector replaces an ordered map keyed by [`VarId`]. All
+    /// states of one context share the same key sequence, so the derived
+    /// `Eq`/`Ord` coincide with the map's entry-wise comparison — clones,
+    /// comparisons, and hashing of states are plain `Vec` sweeps, which is
+    /// what the successor enumeration's dedup loops spend their time on.
+    binding: Vec<Option<RelationId>>,
 }
 
 impl SymState {
@@ -64,11 +70,7 @@ impl SymState {
                 Expr::Nav { .. } => class[i] = DEAD,
             }
         }
-        let binding = ctx
-            .id_var_bindings
-            .keys()
-            .map(|v| (*v, None))
-            .collect();
+        let binding = vec![None; ctx.id_vars().len()];
         let mut s = SymState { class, binding };
         s.normalize();
         s
@@ -89,9 +91,10 @@ impl SymState {
         self.class[a] != DEAD && self.class[a] == self.class[b]
     }
 
-    /// The binding of an ID variable (`None` = null).
-    pub fn binding_of(&self, v: VarId) -> Option<RelationId> {
-        self.binding.get(&v).copied().flatten()
+    /// The binding of an ID variable (`None` = null, or `v` is not an ID
+    /// variable of the context).
+    pub fn binding_of(&self, ctx: &TaskContext, v: VarId) -> Option<RelationId> {
+        ctx.id_var_pos(v).and_then(|p| self.binding[p])
     }
 
     /// Returns `true` if the ID variable is null in this state.
@@ -103,8 +106,8 @@ impl SymState {
     /// refines the static sort.
     fn dyn_sort(&self, ctx: &TaskContext, idx: usize) -> Sort {
         match &ctx.exprs[idx] {
-            Expr::Var(v) => match self.binding.get(v) {
-                Some(Some(rel)) => Sort::Id(*rel),
+            Expr::Var(v) => match ctx.id_var_pos(*v).map(|p| self.binding[p]) {
+                Some(Some(rel)) => Sort::Id(rel),
                 Some(None) => Sort::Null,
                 None => ctx.sorts[idx],
             },
@@ -116,18 +119,32 @@ impl SymState {
     /// expression universe), so structural equality of states coincides with
     /// isomorphism of the underlying equality types.
     pub fn normalize(&mut self) {
-        let mut map: BTreeMap<u32, u32> = BTreeMap::new();
+        // Class ids stay small (they grow by at most a handful per mutation
+        // between normalizations), so a direct-indexed renumber table beats
+        // an ordered map — `u32::MAX` marks ids not yet encountered.
+        let mut max = 0u32;
+        let mut any = false;
+        for &c in &self.class {
+            if c != DEAD {
+                any = true;
+                max = max.max(c);
+            }
+        }
+        if !any {
+            return;
+        }
+        let mut map = vec![u32::MAX; max as usize + 1];
         let mut next = 0u32;
         for c in self.class.iter_mut() {
             if *c == DEAD {
                 continue;
             }
-            let entry = map.entry(*c).or_insert_with(|| {
-                let v = next;
+            let m = &mut map[*c as usize];
+            if *m == u32::MAX {
+                *m = next;
                 next += 1;
-                v
-            });
-            *c = *entry;
+            }
+            *c = *m;
         }
     }
 
@@ -139,7 +156,9 @@ impl SymState {
     /// variables is not re-established here (callers bind variables before
     /// asserting equalities).
     pub fn bind(&mut self, ctx: &TaskContext, v: VarId, rel: Option<RelationId>) {
-        self.binding.insert(v, rel);
+        if let Some(p) = ctx.id_var_pos(v) {
+            self.binding[p] = rel;
+        }
         let var_idx = ctx.var_idx(v);
         let mut next = self.max_class().wrapping_add(1);
         match rel {
@@ -214,13 +233,17 @@ impl SymState {
             }
             // Distinct constants can never be identified; nor can a non-zero
             // constant be identified with zero.
-            let mut constant_classes: BTreeMap<u32, &Expr> = BTreeMap::new();
-            for (i, e) in ctx.exprs.iter().enumerate() {
-                if matches!(e, Expr::Const(_) | Expr::Zero) && self.class[i] != DEAD {
-                    constant_classes.insert(self.class[i], e);
+            let mut ex: Option<&Expr> = None;
+            let mut ey: Option<&Expr> = None;
+            for &i in ctx.const_exprs() {
+                if self.class[i] == cx {
+                    ex = Some(&ctx.exprs[i]);
+                }
+                if self.class[i] == cy {
+                    ey = Some(&ctx.exprs[i]);
                 }
             }
-            if let (Some(e1), Some(e2)) = (constant_classes.get(&cx), constant_classes.get(&cy)) {
+            if let (Some(e1), Some(e2)) = (ex, ey) {
                 if e1 != e2 {
                     return Err(());
                 }
@@ -240,7 +263,7 @@ impl SymState {
             for i in 0..members.len() {
                 for j in i + 1..members.len() {
                     let (mi, mj) = (members[i], members[j]);
-                    for attr in 0..self.max_attr(ctx) {
+                    for attr in 0..ctx.max_attr() {
                         let (ci, cj) = (self.child_idx(ctx, mi, attr), self.child_idx(ctx, mj, attr));
                         if let (Some(ci), Some(cj)) = (ci, cj) {
                             if self.class[ci] != DEAD
@@ -257,40 +280,16 @@ impl SymState {
         Ok(())
     }
 
-    fn max_attr(&self, ctx: &TaskContext) -> usize {
-        // Upper bound on attribute indices appearing in the universe.
-        ctx.exprs
-            .iter()
-            .filter_map(|e| match e {
-                Expr::Nav { path, .. } => path.iter().max().copied(),
-                _ => None,
-            })
-            .max()
-            .map(|m| m + 1)
-            .unwrap_or(0)
-    }
-
     /// The child expression of `idx` along attribute `attr`, taking the
-    /// current binding of variables into account.
+    /// current binding of variables into account. Resolved through the
+    /// context's precomputed child tables — no expression is materialized.
     fn child_idx(&self, ctx: &TaskContext, idx: usize, attr: usize) -> Option<usize> {
         match &ctx.exprs[idx] {
             Expr::Var(v) => {
-                let rel = self.binding.get(v).copied().flatten()?;
-                ctx.index_of(&Expr::Nav {
-                    var: *v,
-                    rel,
-                    path: vec![attr],
-                })
+                let rel = ctx.id_var_pos(*v).and_then(|p| self.binding[p])?;
+                ctx.child_of_var(idx, rel, attr)
             }
-            Expr::Nav { var, rel, path } => {
-                let mut p = path.clone();
-                p.push(attr);
-                ctx.index_of(&Expr::Nav {
-                    var: *var,
-                    rel: *rel,
-                    path: p,
-                })
-            }
+            Expr::Nav { .. } => ctx.child_of_nav(idx, attr),
             _ => None,
         }
     }
@@ -361,7 +360,7 @@ impl SymState {
                     return Some(false);
                 };
                 // The atom is false if any argument is null (Section 2).
-                if self.binding_of(*x) != Some(*relation) {
+                if self.binding_of(ctx, *x) != Some(*relation) {
                     return Some(false);
                 }
                 for (attr_idx, term) in args.iter().enumerate().skip(1) {
@@ -461,7 +460,15 @@ impl SymState {
 
     /// Canonical projection key onto an arbitrary list of expressions.
     pub fn projection_key(&self, exprs: &[usize]) -> ProjectionKey {
-        let mut map: BTreeMap<u32, u32> = BTreeMap::new();
+        let max = exprs
+            .iter()
+            .map(|&i| self.class[i])
+            .filter(|&c| c != DEAD)
+            .max();
+        let Some(max) = max else {
+            return vec![DEAD; exprs.len()];
+        };
+        let mut map = vec![u32::MAX; max as usize + 1];
         let mut next = 0u32;
         exprs
             .iter()
@@ -470,11 +477,12 @@ impl SymState {
                 if c == DEAD {
                     DEAD
                 } else {
-                    *map.entry(c).or_insert_with(|| {
-                        let v = next;
+                    let m = &mut map[c as usize];
+                    if *m == u32::MAX {
+                        *m = next;
                         next += 1;
-                        v
-                    })
+                    }
+                    *m
                 }
             })
             .collect()
@@ -542,8 +550,8 @@ impl SymState {
             }
         }
         for v in vars {
-            if let Some(b) = source.binding.get(v) {
-                self.binding.insert(*v, *b);
+            if let Some(p) = ctx.id_var_pos(*v) {
+                self.binding[p] = source.binding[p];
             }
         }
         self.normalize();
@@ -552,9 +560,7 @@ impl SymState {
     /// If class `c` in this state contains a constant expression (`0` or a
     /// named constant), returns that expression's index.
     fn constant_class_expr(&self, ctx: &TaskContext, c: u32) -> Option<usize> {
-        ctx.exprs.iter().enumerate().find_map(|(i, e)| {
-            (matches!(e, Expr::Const(_) | Expr::Zero) && self.class[i] == c).then_some(i)
-        })
+        ctx.const_exprs().iter().copied().find(|&i| self.class[i] == c)
     }
 
     /// Number of live classes.
@@ -595,7 +601,7 @@ pub fn transfer_pattern(
     for (sv, dv) in var_map {
         let idx = dst_ctx.var_idx(*dv);
         if dst_ctx.sorts[idx] != Sort::Numeric {
-            dst.bind(dst_ctx, *dv, src.binding_of(*sv));
+            dst.bind(dst_ctx, *dv, src.binding_of(src_ctx, *sv));
         }
     }
     // Build the correspondence dst expression -> src expression.
@@ -697,7 +703,7 @@ mod tests {
         assert!(s.is_null(&f.ctx, f.flight));
         assert!(s.is_null(&f.ctx, f.hotel));
         assert!(s.eq(f.ctx.var_idx(f.price), f.ctx.zero_idx));
-        assert_eq!(s.binding_of(f.flight), None);
+        assert_eq!(s.binding_of(&f.ctx, f.flight), None);
         assert_eq!(
             s.satisfies(&f.ctx, &Condition::is_null(f.flight), &no_arith),
             Some(true)
@@ -714,7 +720,7 @@ mod tests {
         let mut s = SymState::blank(&f.ctx, &f.system.schema);
         s.bind(&f.ctx, f.flight, Some(f.flights));
         assert!(!s.is_null(&f.ctx, f.flight));
-        assert_eq!(s.binding_of(f.flight), Some(f.flights));
+        assert_eq!(s.binding_of(&f.ctx, f.flight), Some(f.flights));
         let nav_price = f
             .ctx
             .index_of(&Expr::Nav {
@@ -853,7 +859,7 @@ mod tests {
         source.normalize();
         let mut target = SymState::blank(&f.ctx, &f.system.schema);
         target.adopt_vars(&f.ctx, &source, &[f.flight, f.price]);
-        assert_eq!(target.binding_of(f.flight), Some(f.flights));
+        assert_eq!(target.binding_of(&f.ctx, f.flight), Some(f.flights));
         assert!(!target.is_null(&f.ctx, f.flight));
         // price is in its own class, distinct from zero.
         assert!(!target.eq(f.ctx.var_idx(f.price), f.ctx.zero_idx));

@@ -1,8 +1,19 @@
 //! Karp–Miller coverability graph with ω-acceleration.
+//!
+//! The graph stores its nodes in dense arenas (DESIGN.md §5.8): markings
+//! live in one flat row-major `Vec<u64>` arena, the `(state, marking) → id`
+//! canonicalization is a hand-rolled open-addressing interner whose table
+//! holds node ids (so a lookup hit clones nothing and a miss copies the
+//! candidate marking exactly once, into the arena), and ω-acceleration
+//! consults a per-expansion ancestor index instead of re-walking the full
+//! parent chain per successor. Node ids are assigned in BFS-discovery
+//! order, which is what makes every downstream iteration deterministic.
 
 use crate::cycle::{self, DeltaEdge};
+use crate::dense::FxHasher;
 use crate::vass::Vass;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+use std::hash::Hasher;
 
 /// The ω value of a marking coordinate ("arbitrarily large").
 pub const OMEGA: u64 = u64::MAX;
@@ -11,33 +22,34 @@ pub const OMEGA: u64 = u64::MAX;
 /// counter can be pumped above any bound.
 pub type Marking = Vec<u64>;
 
-fn add(marking: &Marking, delta: &[i64]) -> Option<Marking> {
-    let mut out = Vec::with_capacity(marking.len());
-    for (m, d) in marking.iter().zip(delta) {
+/// Sentinel for "no parent node / no incoming action" in the dense arrays.
+const NONE: u32 = u32::MAX;
+
+/// Adds `delta` to `marking` into `out` (ω absorbs). Returns `false` when a
+/// non-ω coordinate would go negative.
+fn add_into(marking: &[u64], delta: &[i64], out: &mut [u64]) -> bool {
+    for ((m, d), o) in marking.iter().zip(delta).zip(out.iter_mut()) {
         if *m == OMEGA {
-            out.push(OMEGA);
+            *o = OMEGA;
         } else {
             let v = (*m as i128) + (*d as i128);
             if v < 0 {
-                return None;
+                return false;
             }
-            out.push(v as u64);
+            *o = v as u64;
         }
     }
-    Some(out)
+    true
 }
 
-fn leq(a: &Marking, b: &Marking) -> bool {
-    a.iter().zip(b).all(|(x, y)| *x <= *y)
-}
-
-/// A node of the coverability graph.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Node {
+/// A view of one coverability-graph node. The marking borrows the graph's
+/// row arena; everything else is copied out of the dense columns.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeRef<'a> {
     /// Control state.
     pub state: usize,
-    /// Extended marking.
-    pub marking: Marking,
+    /// Extended marking (one row of the arena).
+    pub marking: &'a [u64],
     /// Parent node id in the Karp–Miller tree (`None` for the root).
     pub parent: Option<usize>,
     /// The index (into the VASS action list) of the action taken from the
@@ -53,14 +65,144 @@ pub struct Node {
 /// exactly.
 #[derive(Clone, Debug)]
 pub struct CoverabilityGraph {
-    nodes: Vec<Node>,
-    /// Edges `(from_node, action_index, to_node)`.
-    edges: Vec<(usize, usize, usize)>,
-    /// Canonical node per `(state, marking)`.
-    index: BTreeMap<(usize, Marking), usize>,
+    dim: usize,
+    /// Control state per node.
+    states: Vec<u32>,
+    /// Flat row-major marking arena: node `i`'s marking is
+    /// `rows[i*dim .. (i+1)*dim]`.
+    rows: Vec<u64>,
+    /// Parent node per node ([`NONE`] for the root).
+    parent: Vec<u32>,
+    /// Incoming action per node ([`NONE`] for the root).
+    via: Vec<u32>,
+    /// Cached interner hash per node (so table growth never re-reads rows).
+    hashes: Vec<u64>,
+    /// Edges `(from_node, action_index, to_node)` in discovery order — the
+    /// edge *indices* are part of the determinism contract (cycle witnesses
+    /// are reported as indices into this list).
+    edges: Vec<(u32, u32, u32)>,
+    /// Open-addressing interner table over `(state, marking)`: slots hold
+    /// `node id + 1` (`0` = empty); length is a power of two.
+    table: Vec<u32>,
+    mask: usize,
+}
+
+/// Deterministic hash of an interner key (control state + marking row).
+fn hash_key(state: u32, row: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(state);
+    for &w in row {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
+/// The per-expansion ancestor index for ω-acceleration: one walk up the
+/// parent chain of the node being expanded builds, per control state, the
+/// chain of its ancestors with that state (nearest first). Each successor
+/// candidate then scans exactly the ancestors sharing its target state —
+/// O(1) lookup plus O(width) per *matching* ancestor — instead of
+/// re-walking the whole chain per candidate as the previous implementation
+/// did. Scratch buffers are stamped, so reuse across expansions is O(chain
+/// length), not O(|states|).
+struct AncestorIndex {
+    /// Per control state: index+1 of the first (nearest) chain entry.
+    head: Vec<u32>,
+    /// Per control state: index+1 of the last chain entry (for appends).
+    tail: Vec<u32>,
+    /// Stamp validating `head`/`tail` for the current expansion.
+    stamp: Vec<u64>,
+    current: u64,
+    /// Chain entries `(node id, index+1 of next entry with the same state)`.
+    entries: Vec<(u32, u32)>,
+}
+
+impl AncestorIndex {
+    fn new(num_states: usize) -> Self {
+        AncestorIndex {
+            head: vec![0; num_states],
+            tail: vec![0; num_states],
+            stamp: vec![0; num_states],
+            current: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the index for the ancestors of `node` (inclusive).
+    fn build(&mut self, graph: &CoverabilityGraph, node: u32) {
+        self.current += 1;
+        self.entries.clear();
+        let mut a = node;
+        while a != NONE {
+            let s = graph.states[a as usize] as usize;
+            if self.stamp[s] != self.current {
+                self.stamp[s] = self.current;
+                self.head[s] = 0;
+                self.tail[s] = 0;
+            }
+            let idx = self.entries.len() as u32 + 1;
+            self.entries.push((a, 0));
+            if self.tail[s] == 0 {
+                self.head[s] = idx;
+            } else {
+                self.entries[(self.tail[s] - 1) as usize].1 = idx;
+            }
+            self.tail[s] = idx;
+            a = graph.parent[a as usize];
+        }
+    }
+
+    /// ω-accelerates `next` against the indexed ancestors with control state
+    /// `state`: any ancestor whose marking is dominated by (and not equal
+    /// to) the current `next` pumps the strictly larger coordinates to ω.
+    /// Ancestors apply nearest-first, exactly like the replaced chain walk.
+    fn accelerate(&self, graph: &CoverabilityGraph, state: u32, next: &mut [u64]) {
+        let s = state as usize;
+        if self.stamp[s] != self.current {
+            return;
+        }
+        let mut e = self.head[s];
+        while e != 0 {
+            let (node, next_entry) = self.entries[(e - 1) as usize];
+            let row = graph.row(node as usize);
+            let mut dominated = true;
+            let mut strictly = false;
+            for (a, n) in row.iter().zip(next.iter()) {
+                if *a > *n {
+                    dominated = false;
+                    break;
+                }
+                if *a < *n {
+                    strictly = true;
+                }
+            }
+            if dominated && strictly {
+                for (a, n) in row.iter().zip(next.iter_mut()) {
+                    if *a < *n {
+                        *n = OMEGA;
+                    }
+                }
+            }
+            e = next_entry;
+        }
+    }
 }
 
 impl CoverabilityGraph {
+    fn empty(dim: usize) -> Self {
+        CoverabilityGraph {
+            dim,
+            states: Vec::new(),
+            rows: Vec::new(),
+            parent: Vec::new(),
+            via: Vec::new(),
+            hashes: Vec::new(),
+            edges: Vec::new(),
+            table: vec![0; 16],
+            mask: 15,
+        }
+    }
+
     /// Builds the coverability graph of `vass` from `(init, 0̄)`.
     pub fn build(vass: &Vass, init: usize) -> Self {
         Self::build_inner(vass, init, usize::MAX, None)
@@ -91,68 +233,63 @@ impl CoverabilityGraph {
         max_nodes: usize,
         stop_at: Option<usize>,
     ) -> Self {
-        let mut graph = CoverabilityGraph {
-            nodes: Vec::new(),
-            edges: Vec::new(),
-            index: BTreeMap::new(),
-        };
+        let mut graph = Self::empty(vass.dim);
         if max_nodes == 0 {
             return graph;
         }
-        // Per-state adjacency, computed once: expansion below touches only
-        // the actions leaving the popped state instead of scanning the whole
-        // action list per node.
-        let actions_by_state = vass.adjacency();
-        let root_marking = vec![0u64; vass.dim];
-        let root = graph
-            .intern(init, root_marking, None, None, max_nodes)
+        // Per-state CSR adjacency, computed once: expansion below touches
+        // only the actions leaving the popped state instead of scanning the
+        // whole action list per node.
+        let adjacency = vass.action_csr();
+        let root_row = vec![0u64; vass.dim];
+        let (root, _) = graph
+            .intern(init as u32, &root_row, NONE, NONE, max_nodes)
             .expect("the first intern is always under a non-zero cap");
         if stop_at == Some(init) {
             return graph;
         }
         let mut worklist = VecDeque::from([root]);
-        let mut expanded = vec![false; 1];
+        // Sized from the node arena (and re-synced with it at every pop):
+        // each node is enqueued exactly once, at interning time, so a pop
+        // can never observe an id the arena does not already hold.
+        let mut expanded = vec![false; graph.node_count()];
+        // Scratch marking buffers, reused across the whole construction.
+        let mut current = vec![0u64; vass.dim];
+        let mut next = vec![0u64; vass.dim];
+        let mut ancestors = AncestorIndex::new(vass.states);
 
         while let Some(node_id) = worklist.pop_front() {
-            if expanded[node_id] {
+            if expanded.len() < graph.node_count() {
+                expanded.resize(graph.node_count(), false);
+            }
+            let node = node_id as usize;
+            if expanded[node] {
                 continue;
             }
-            expanded[node_id] = true;
-            let (state, marking) = {
-                let n = &graph.nodes[node_id];
-                (n.state, n.marking.clone())
-            };
-            for &action_idx in &actions_by_state[state] {
-                let action = &vass.actions[action_idx];
-                let Some(mut next) = add(&marking, &action.delta) else {
+            expanded[node] = true;
+            let state = graph.states[node] as usize;
+            current.copy_from_slice(graph.row(node));
+            // ω-acceleration: if some ancestor (in the Karp–Miller tree)
+            // has the same control state as a successor and a marking
+            // strictly dominated by it, the strictly larger coordinates can
+            // be pumped. One parent-chain walk per expansion builds the
+            // per-state index all successors then consult.
+            ancestors.build(&graph, node_id);
+            for &action_idx in adjacency.actions_from(state) {
+                let action = &vass.actions[action_idx as usize];
+                if !add_into(&current, &action.delta, &mut next) {
                     continue;
-                };
-                // ω-acceleration: if some ancestor (in the Karp–Miller tree)
-                // has the same control state and a marking strictly dominated
-                // by `next`, the strictly larger coordinates can be pumped.
-                let mut ancestor = Some(node_id);
-                while let Some(a) = ancestor {
-                    let anc = &graph.nodes[a];
-                    if anc.state == action.to && leq(&anc.marking, &next) && anc.marking != next {
-                        for (av, nv) in anc.marking.iter().zip(next.iter_mut()) {
-                            if *av < *nv {
-                                *nv = OMEGA;
-                            }
-                        }
-                    }
-                    ancestor = anc.parent;
                 }
-                let existed = graph.index.contains_key(&(action.to, next.clone()));
-                let Some(target) =
-                    graph.intern(action.to, next, Some(node_id), Some(action_idx), max_nodes)
+                ancestors.accelerate(&graph, action.to as u32, &mut next);
+                let Some((target, is_new)) =
+                    graph.intern(action.to as u32, &next, node_id, action_idx, max_nodes)
                 else {
                     // Interning would exceed the node cap: drop the edge and
                     // keep expanding among the existing nodes.
                     continue;
                 };
                 graph.edges.push((node_id, action_idx, target));
-                if !existed {
-                    expanded.push(false);
+                if is_new {
                     worklist.push_back(target);
                     if stop_at == Some(action.to) {
                         return graph;
@@ -163,41 +300,90 @@ impl CoverabilityGraph {
         graph
     }
 
-    /// Returns the canonical node for `(state, marking)`, creating it unless
-    /// that would push the node count beyond `max_nodes`.
+    /// Returns the canonical node id for `(state, row)` and whether it was
+    /// newly created, or `None` when creating it would push the node count
+    /// beyond `max_nodes`. One probe sequence serves both the hit and the
+    /// miss: a hit touches nothing, a miss copies the row into the arena
+    /// exactly once.
     fn intern(
         &mut self,
-        state: usize,
-        marking: Marking,
-        parent: Option<usize>,
-        via_action: Option<usize>,
+        state: u32,
+        row: &[u64],
+        parent: u32,
+        via: u32,
         max_nodes: usize,
-    ) -> Option<usize> {
-        if let Some(&id) = self.index.get(&(state, marking.clone())) {
-            return Some(id);
+    ) -> Option<(u32, bool)> {
+        debug_assert_eq!(row.len(), self.dim);
+        let hash = hash_key(state, row);
+        let mut slot = (hash as usize) & self.mask;
+        loop {
+            let entry = self.table[slot];
+            if entry == 0 {
+                break;
+            }
+            let id = (entry - 1) as usize;
+            if self.hashes[id] == hash && self.states[id] == state && self.row(id) == row {
+                return Some((entry - 1, false));
+            }
+            slot = (slot + 1) & self.mask;
         }
-        if self.nodes.len() >= max_nodes {
+        if self.states.len() >= max_nodes {
             return None;
         }
-        let id = self.nodes.len();
-        self.nodes.push(Node {
-            state,
-            marking: marking.clone(),
-            parent,
-            via_action,
-        });
-        self.index.insert((state, marking), id);
-        Some(id)
+        let id = u32::try_from(self.states.len())
+            .expect("coverability graph overflow: more than u32::MAX nodes");
+        self.states.push(state);
+        self.rows.extend_from_slice(row);
+        self.parent.push(parent);
+        self.via.push(via);
+        self.hashes.push(hash);
+        self.table[slot] = id + 1;
+        if (self.states.len() + 1) * 8 > self.table.len() * 7 {
+            self.grow_table();
+        }
+        Some((id, true))
     }
 
-    /// Iterates over the nodes.
-    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
-        self.nodes.iter()
+    fn grow_table(&mut self) {
+        let new_len = self.table.len() * 2;
+        self.mask = new_len - 1;
+        self.table.clear();
+        self.table.resize(new_len, 0);
+        for (id, &hash) in self.hashes.iter().enumerate() {
+            let mut slot = (hash as usize) & self.mask;
+            while self.table[slot] != 0 {
+                slot = (slot + 1) & self.mask;
+            }
+            self.table[slot] = id as u32 + 1;
+        }
+    }
+
+    /// The marking row of a node.
+    fn row(&self, id: usize) -> &[u64] {
+        &self.rows[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// A view of the node with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: usize) -> NodeRef<'_> {
+        NodeRef {
+            state: self.states[id] as usize,
+            marking: self.row(id),
+            parent: (self.parent[id] != NONE).then(|| self.parent[id] as usize),
+            via_action: (self.via[id] != NONE).then(|| self.via[id] as usize),
+        }
+    }
+
+    /// Iterates over the nodes in id (BFS-discovery) order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeRef<'_>> {
+        (0..self.node_count()).map(|id| self.node(id))
     }
 
     /// Number of nodes (a cost metric reported by the benchmarks).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.states.len()
     }
 
     /// Number of edges.
@@ -207,13 +393,15 @@ impl CoverabilityGraph {
 
     /// Iterates over the edges as `(from_node, action_index, to_node)`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
-        self.edges.iter().copied()
+        self.edges
+            .iter()
+            .map(|&(f, a, t)| (f as usize, a as usize, t as usize))
     }
 
     /// A sequence of VASS action indices leading from the root to some node
     /// with the given control state, if one exists.
     pub fn path_to_state(&self, target: usize) -> Option<Vec<usize>> {
-        let node = self.nodes.iter().position(|n| n.state == target)?;
+        let node = self.states.iter().position(|&s| s as usize == target)?;
         Some(self.path_to_node(node))
     }
 
@@ -227,13 +415,13 @@ impl CoverabilityGraph {
     pub fn path_to_node(&self, node: usize) -> Vec<usize> {
         let mut path = Vec::new();
         let mut current = node;
-        while let Some(parent) = self.nodes[current].parent {
-            path.push(
-                self.nodes[current]
-                    .via_action
-                    .expect("non-root nodes record their incoming action"),
+        while self.parent[current] != NONE {
+            debug_assert_ne!(
+                self.via[current], NONE,
+                "non-root nodes record their incoming action"
             );
-            current = parent;
+            path.push(self.via[current] as usize);
+            current = self.parent[current] as usize;
         }
         path.reverse();
         path
@@ -257,9 +445,12 @@ impl CoverabilityGraph {
     /// control state satisfying the predicate (used by the verifier, where
     /// "accepting" is a property of the encoded Büchi component).
     pub fn nonneg_cycle_through_pred(&self, vass: &Vass, target: &dyn Fn(usize) -> bool) -> bool {
-        cycle::nonneg_cycle_exists(self.nodes.len(), vass.dim, &self.delta_edges(vass), &|node| {
-            target(self.nodes[node].state)
-        })
+        cycle::nonneg_cycle_exists(
+            self.node_count(),
+            vass.dim,
+            &self.delta_edges(vass),
+            &|node| target(self.states[node] as usize),
+        )
     }
 
     /// Decides [`CoverabilityGraph::nonneg_cycle_through_pred`] and
@@ -278,13 +469,16 @@ impl CoverabilityGraph {
         max_len: usize,
     ) -> cycle::CycleSearch<(usize, usize, usize)> {
         cycle::nonneg_cycle_search(
-            self.nodes.len(),
+            self.node_count(),
             vass.dim,
             &self.delta_edges(vass),
-            &|node| target(self.nodes[node].state),
+            &|node| target(self.states[node] as usize),
             max_len,
         )
-        .map_edges(|i| self.edges[i])
+        .map_edges(|i| {
+            let (f, a, t) = self.edges[i];
+            (f as usize, a as usize, t as usize)
+        })
     }
 
     /// The walk of [`CoverabilityGraph::nonneg_cycle_search_through_pred`],
@@ -302,15 +496,16 @@ impl CoverabilityGraph {
         }
     }
 
-    /// The graph's edges as [`DeltaEdge`]s over coverability nodes, with each
-    /// edge carrying its underlying VASS action effect.
-    fn delta_edges(&self, vass: &Vass) -> Vec<DeltaEdge> {
+    /// The graph's edges as [`DeltaEdge`]s over coverability nodes, with
+    /// each edge *borrowing* its underlying VASS action effect — building
+    /// the cycle-search instance copies no delta vectors.
+    fn delta_edges<'a>(&self, vass: &'a Vass) -> Vec<DeltaEdge<'a>> {
         self.edges
             .iter()
             .map(|&(from, action, to)| DeltaEdge {
-                from,
-                to,
-                delta: vass.actions[action].delta.clone(),
+                from: from as usize,
+                to: to as usize,
+                delta: &vass.actions[action as usize].delta,
             })
             .collect()
     }
@@ -401,7 +596,7 @@ mod tests {
             assert_eq!(to, walk[(k + 1) % walk.len()].0);
         }
         let (start, _, _) = walk[0];
-        assert_eq!(g.nodes[start].state, 1);
+        assert_eq!(g.node(start).state, 1);
         // The prefix to the cycle's start replays to its control state.
         let prefix = g.path_to_node(start);
         assert_eq!(prefix.len(), 1);
@@ -448,5 +643,43 @@ mod tests {
         assert!(g.node_count() < full.node_count());
         // The partial graph still yields a witness path.
         assert_eq!(g.path_to_state(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_targets_are_interned_once_and_expanded_once() {
+        // Two distinct actions from the root produce the *same* successor
+        // `(state 1, [1])`, and a third path reaches it again via state 2:
+        // the node must be interned once, re-queued never, and expanded
+        // exactly once — observable as exact node and edge counts (a double
+        // expansion would duplicate the out-edges of state 1).
+        let mut v = Vass::new(4, 1);
+        v.add_action(0, vec![1], 1); // root → (1,[1])
+        v.add_action(0, vec![1], 1); // duplicate successor
+        v.add_action(0, vec![0], 2); // root → (2,[0])
+        v.add_action(2, vec![1], 1); // second path to (1,[1])
+        v.add_action(1, vec![0], 3); // the out-edge that must appear once per intern
+        let g = CoverabilityGraph::build(&v, 0);
+        // Nodes: (0,[0]), (1,[1]), (2,[0]), (3,[1]).
+        assert_eq!(g.node_count(), 4);
+        // Edges: three into (1,[1]), one into (2,[0]), and exactly ONE copy
+        // of (1,[1]) → (3,[1]) — five total. A re-expansion of the
+        // re-reached node would push a sixth.
+        assert_eq!(g.edge_count(), 5);
+        let into_3: Vec<_> = g.edges().filter(|&(_, _, to)| g.node(to).state == 3).collect();
+        assert_eq!(into_3.len(), 1);
+    }
+
+    #[test]
+    fn interner_assigns_bfs_discovery_order() {
+        // Ids must follow the BFS worklist order, not any value order: the
+        // root is 0 and successors number up in discovery order.
+        let mut v = Vass::new(3, 1);
+        v.add_action(0, vec![5], 2); // discovered first, large marking
+        v.add_action(0, vec![1], 1); // discovered second, small marking
+        let g = CoverabilityGraph::build(&v, 0);
+        assert_eq!(g.node(0).state, 0);
+        assert_eq!(g.node(1).state, 2);
+        assert_eq!(g.node(2).state, 1);
+        assert_eq!(g.node(1).marking, &[5]);
     }
 }

@@ -39,18 +39,21 @@ use has_arith::{LpCmp, LpOutcome, LpProblem, Rational};
 use std::collections::BTreeMap;
 
 /// An edge of a cycle-detection instance: `from → to` with counter effect
-/// `delta`.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct DeltaEdge {
+/// `delta`. The delta is *borrowed* (from the VASS action table, for
+/// coverability-graph edges), so building an instance over E edges copies
+/// no vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaEdge<'a> {
     /// Source node.
     pub from: usize,
     /// Target node.
     pub to: usize,
     /// Counter effect of traversing the edge.
-    pub delta: Vec<i64>,
+    pub delta: &'a [i64],
 }
 
-/// Tarjan's strongly-connected-components algorithm (iterative).
+/// Tarjan's strongly-connected-components algorithm (iterative), traversing
+/// a CSR adjacency built in two counting passes (no per-node allocations).
 ///
 /// Returns one component id per node (components are numbered in reverse
 /// topological order) and the number of components.
@@ -59,10 +62,22 @@ pub fn strongly_connected_components(
     edges: &[(usize, usize)],
 ) -> (Vec<usize>, usize) {
     const UNSET: usize = usize::MAX;
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
-    for &(from, to) in edges {
-        adj[from].push(to);
+    // CSR adjacency: `targets[offsets[v]..offsets[v+1]]` are v's successors,
+    // in edge-list order (the counting sort is stable).
+    let mut offsets = vec![0u32; num_nodes + 1];
+    for &(from, _) in edges {
+        offsets[from + 1] += 1;
     }
+    for v in 0..num_nodes {
+        offsets[v + 1] += offsets[v];
+    }
+    let mut targets = vec![0u32; edges.len()];
+    let mut cursor = offsets.clone();
+    for &(from, to) in edges {
+        targets[cursor[from] as usize] = to as u32;
+        cursor[from] += 1;
+    }
+    let degree = |v: usize| (offsets[v + 1] - offsets[v]) as usize;
     let mut index = vec![UNSET; num_nodes];
     let mut low = vec![0usize; num_nodes];
     let mut comp = vec![UNSET; num_nodes];
@@ -83,9 +98,9 @@ pub fn strongly_connected_components(
         on_stack[root] = true;
         call.push((root, 0));
         while let Some(&(v, child)) = call.last() {
-            if child < adj[v].len() {
+            if child < degree(v) {
                 call.last_mut().expect("non-empty call stack").1 += 1;
-                let w = adj[v][child];
+                let w = targets[offsets[v] as usize + child] as usize;
                 if index[w] == UNSET {
                     index[w] = next_index;
                     low[w] = next_index;
@@ -123,7 +138,7 @@ pub fn strongly_connected_components(
 pub fn nonneg_cycle_exists(
     num_nodes: usize,
     dim: usize,
-    edges: &[DeltaEdge],
+    edges: &[DeltaEdge<'_>],
     is_target: &dyn Fn(usize) -> bool,
 ) -> bool {
     if edges.is_empty() {
@@ -194,7 +209,7 @@ impl<E> CycleSearch<E> {
 pub fn nonneg_cycle_search(
     num_nodes: usize,
     dim: usize,
-    edges: &[DeltaEdge],
+    edges: &[DeltaEdge<'_>],
     is_target: &dyn Fn(usize) -> bool,
     max_len: usize,
 ) -> CycleSearch {
@@ -225,7 +240,7 @@ pub fn nonneg_cycle_search(
 pub fn nonneg_cycle_witness(
     num_nodes: usize,
     dim: usize,
-    edges: &[DeltaEdge],
+    edges: &[DeltaEdge<'_>],
     is_target: &dyn Fn(usize) -> bool,
     max_len: usize,
 ) -> Option<Vec<usize>> {
@@ -240,7 +255,7 @@ pub fn nonneg_cycle_witness(
 /// one strongly connected component).
 fn target_components(
     num_nodes: usize,
-    edges: &[DeltaEdge],
+    edges: &[DeltaEdge<'_>],
     is_target: &dyn Fn(usize) -> bool,
 ) -> Vec<Vec<usize>> {
     let pairs: Vec<(usize, usize)> = edges.iter().map(|e| (e.from, e.to)).collect();
@@ -270,7 +285,7 @@ fn target_components(
 /// [`nonneg_cycle_witness`] turns into a concrete closed walk.
 fn component_witness(
     dim: usize,
-    edges: &[DeltaEdge],
+    edges: &[DeltaEdge<'_>],
     initial: Vec<usize>,
     is_target: &dyn Fn(usize) -> bool,
 ) -> Option<(Vec<usize>, Vec<Rational>)> {
@@ -319,7 +334,7 @@ enum Support {
 /// support short-circuits the computation.
 fn maximal_support(
     dim: usize,
-    edges: &[DeltaEdge],
+    edges: &[DeltaEdge<'_>],
     es: &[usize],
     is_target: &dyn Fn(usize) -> bool,
 ) -> Support {
@@ -398,7 +413,7 @@ fn maximal_support(
 /// `None` if the scaled walk would exceed `max_len` traversals or the
 /// integer scaling overflows `i128`.
 fn eulerian_walk(
-    edges: &[DeltaEdge],
+    edges: &[DeltaEdge<'_>],
     es: &[usize],
     point: &[Rational],
     is_target: &dyn Fn(usize) -> bool,
@@ -490,7 +505,7 @@ fn eulerian_walk(
 /// (the program would be trivially infeasible).
 fn circulation_lp(
     dim: usize,
-    edges: &[DeltaEdge],
+    edges: &[DeltaEdge<'_>],
     es: &[usize],
     is_target: &dyn Fn(usize) -> bool,
 ) -> Option<LpProblem> {
@@ -540,7 +555,7 @@ fn circulation_lp(
 
 /// Weak connected components of the subgraph spanned by `support`, returned
 /// as groups of edge indices.
-fn weak_components(edges: &[DeltaEdge], support: &[usize]) -> Vec<Vec<usize>> {
+fn weak_components(edges: &[DeltaEdge<'_>], support: &[usize]) -> Vec<Vec<usize>> {
     let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
     // Iterative two-pass find with path compression: supports can be as
     // large as an SCC's whole edge set, so recursion depth must not scale
@@ -581,12 +596,8 @@ fn weak_components(edges: &[DeltaEdge], support: &[usize]) -> Vec<Vec<usize>> {
 mod tests {
     use super::*;
 
-    fn edge(from: usize, to: usize, delta: &[i64]) -> DeltaEdge {
-        DeltaEdge {
-            from,
-            to,
-            delta: delta.to_vec(),
-        }
+    fn edge(from: usize, to: usize, delta: &'static [i64]) -> DeltaEdge<'static> {
+        DeltaEdge { from, to, delta }
     }
 
     #[test]
@@ -678,7 +689,7 @@ mod tests {
         // A 100-node ring with zero deltas: the only cycle has length 100,
         // far beyond the old default caps.
         let n = 100;
-        let edges: Vec<DeltaEdge> = (0..n).map(|i| edge(i, (i + 1) % n, &[0])).collect();
+        let edges: Vec<DeltaEdge<'_>> = (0..n).map(|i| edge(i, (i + 1) % n, &[0])).collect();
         assert!(nonneg_cycle_exists(n, 1, &edges, &|s| s == 0));
     }
 
@@ -707,7 +718,7 @@ mod tests {
     /// non-empty, consecutive edges chained, closed, through a target, with
     /// componentwise non-negative summed effect.
     fn assert_valid_walk(
-        edges: &[DeltaEdge],
+        edges: &[DeltaEdge<'_>],
         walk: &[usize],
         dim: usize,
         is_target: &dyn Fn(usize) -> bool,
@@ -721,7 +732,7 @@ mod tests {
                 "walk breaks between positions {k} and {}",
                 (k + 1) % walk.len()
             );
-            for (s, d) in sum.iter_mut().zip(&edges[i].delta) {
+            for (s, d) in sum.iter_mut().zip(edges[i].delta) {
                 *s += d;
             }
         }
@@ -734,7 +745,7 @@ mod tests {
 
     #[test]
     fn witness_matches_decision_on_the_basic_instances() {
-        let cases: Vec<(usize, usize, Vec<DeltaEdge>)> = vec![
+        let cases: Vec<(usize, usize, Vec<DeltaEdge<'static>>)> = vec![
             (1, 1, vec![edge(0, 0, &[1])]),
             (1, 1, vec![edge(0, 0, &[-1])]),
             (1, 1, vec![edge(0, 0, &[-1]), edge(0, 0, &[1])]),
@@ -790,7 +801,7 @@ mod tests {
     #[test]
     fn witness_walks_the_long_ring() {
         let n = 100;
-        let edges: Vec<DeltaEdge> = (0..n).map(|i| edge(i, (i + 1) % n, &[0])).collect();
+        let edges: Vec<DeltaEdge<'_>> = (0..n).map(|i| edge(i, (i + 1) % n, &[0])).collect();
         let walk = nonneg_cycle_witness(n, 1, &edges, &|s| s == 0, 10_000).expect("ring cycles");
         assert_eq!(walk.len(), n);
         assert_valid_walk(&edges, &walk, 1, &|s| s == 0);

@@ -39,12 +39,14 @@
 pub mod bounded;
 pub mod coverability;
 pub mod cycle;
+pub mod dense;
 pub mod vass;
 
 pub use bounded::BoundedExplorer;
-pub use coverability::{CoverabilityGraph, Marking, OMEGA};
+pub use coverability::{CoverabilityGraph, Marking, NodeRef, OMEGA};
 pub use cycle::{
     nonneg_cycle_exists, nonneg_cycle_search, nonneg_cycle_witness,
     strongly_connected_components, CycleSearch, DeltaEdge,
 };
-pub use vass::{Action, Vass};
+pub use dense::{fx_hash, BitSet, FxBuildHasher, FxHashMap, FxHasher, Interner};
+pub use vass::{Action, ActionCsr, Vass};

@@ -70,6 +70,29 @@ impl Vass {
         adj
     }
 
+    /// Per-state adjacency in CSR form: two flat arrays instead of one
+    /// allocation per state. [`ActionCsr::actions_from`] returns the action
+    /// indices leaving a state, in insertion order (the same order as
+    /// [`Vass::adjacency`]). This is what the hot graph constructions use;
+    /// [`Vass::adjacency`] remains for callers that want owned per-state
+    /// lists.
+    pub fn action_csr(&self) -> ActionCsr {
+        let mut offsets = vec![0u32; self.states + 1];
+        for a in &self.actions {
+            offsets[a.from + 1] += 1;
+        }
+        for s in 0..self.states {
+            offsets[s + 1] += offsets[s];
+        }
+        let mut actions = vec![0u32; self.actions.len()];
+        let mut cursor = offsets.clone();
+        for (i, a) in self.actions.iter().enumerate() {
+            actions[cursor[a.from] as usize] = i as u32;
+            cursor[a.from] += 1;
+        }
+        ActionCsr { offsets, actions }
+    }
+
     /// Decides control-state reachability from `(init, 0̄)`: is there a run
     /// reaching some configuration with control state `target`?
     ///
@@ -112,6 +135,22 @@ impl Vass {
     /// Number of actions.
     pub fn action_count(&self) -> usize {
         self.actions.len()
+    }
+}
+
+/// Compressed-sparse-row action adjacency of a [`Vass`] (see
+/// [`Vass::action_csr`]): `offsets` has one entry per state plus a
+/// terminator, `actions` holds the action indices grouped by source state.
+#[derive(Clone, Debug)]
+pub struct ActionCsr {
+    offsets: Vec<u32>,
+    actions: Vec<u32>,
+}
+
+impl ActionCsr {
+    /// The indices of the actions leaving `state`, in insertion order.
+    pub fn actions_from(&self, state: usize) -> &[u32] {
+        &self.actions[self.offsets[state] as usize..self.offsets[state + 1] as usize]
     }
 }
 
