@@ -1,0 +1,238 @@
+//! Read/write dataflow over a validated artifact system.
+//!
+//! The pass computes, per variable, where its value is *read* (guards,
+//! mapping sources, property conditions — the places a value can influence
+//! behavior or observation) and where it is *written* (post-conditions,
+//! mapping targets, retrievals), then reports:
+//!
+//! * `HAS101` — a variable that is never read: its value influences neither
+//!   the control flow nor any observation (for artifact-relation tuple
+//!   variables this is the "write-only column" case: the column is stored
+//!   and retrieved but its value is never consulted);
+//! * `HAS104` — an internal service whose effects are never observed: no
+//!   set update, not named by the property, and every variable its
+//!   post-condition constrains is never read.
+//!
+//! Reads and writes are collected from the model only (plus the property's
+//! conditions and service propositions); the pass is purely syntactic and
+//! complements the guard-satisfiability pass of [`crate::guards`].
+
+use crate::diagnostic::Diagnostic;
+use has_ltl::hltl::HltlProp;
+use has_ltl::HltlFormula;
+use has_model::{ArtifactSystem, ServiceRef, VarId};
+use std::collections::BTreeSet;
+
+/// The property's footprint on the model: variables its conditions mention
+/// (reads) and services its propositions name (observations).
+#[derive(Clone, Debug, Default)]
+pub struct PropertyFootprint {
+    /// Variables read by some condition proposition (of any sub-formula).
+    pub read_vars: BTreeSet<VarId>,
+    /// Services named by some service proposition.
+    pub observed_services: BTreeSet<ServiceRef>,
+}
+
+/// Collects the property footprint, descending through child sub-formulas.
+pub fn property_footprint(property: &HltlFormula) -> PropertyFootprint {
+    let mut out = PropertyFootprint::default();
+    fn walk(f: &HltlFormula, out: &mut PropertyFootprint) {
+        for p in &f.props {
+            match p {
+                HltlProp::Condition(c) => out.read_vars.extend(c.variables()),
+                HltlProp::Service(s) => {
+                    out.observed_services.insert(*s);
+                }
+                HltlProp::Child(_, sub) => walk(sub, out),
+            }
+        }
+    }
+    walk(property, &mut out);
+    out
+}
+
+/// The read/write sets of one dataflow analysis.
+#[derive(Clone, Debug, Default)]
+pub struct Dataflow {
+    /// Variables whose value some guard, mapping source, insertion or
+    /// property condition consults.
+    pub read: BTreeSet<VarId>,
+    /// Variables some post-condition, mapping target or retrieval assigns.
+    pub written: BTreeSet<VarId>,
+}
+
+/// Computes the system-wide read/write sets (see the module docs for what
+/// counts as a read and as a write).
+pub fn dataflow(system: &ArtifactSystem, property: Option<&HltlFormula>) -> Dataflow {
+    let schema = &system.schema;
+    let mut flow = Dataflow::default();
+    // The global pre-condition reads root input variables.
+    flow.read.extend(system.precondition.variables());
+    if let Some(p) = property {
+        flow.read.extend(property_footprint(p).read_vars);
+    }
+    for (_, task) in schema.tasks() {
+        let input: BTreeSet<VarId> = task.input_vars.iter().copied().collect();
+        for service in &task.internal_services {
+            flow.read.extend(service.pre.variables());
+            for v in service.post.variables() {
+                // Input variables keep their value across a service step, so
+                // a post-condition mentioning one reads it; any other
+                // mention constrains the next valuation — a write.
+                if input.contains(&v) {
+                    flow.read.insert(v);
+                } else {
+                    flow.written.insert(v);
+                }
+            }
+            if let Some(ar) = &task.artifact_relation {
+                if service.delta.inserts() {
+                    flow.read.extend(ar.tuple.iter().copied());
+                }
+                if service.delta.retrieves() {
+                    flow.written.extend(ar.tuple.iter().copied());
+                }
+            }
+        }
+        flow.read.extend(task.closing.pre.variables());
+        // Opening a child: the pre-condition and the input-map sources read
+        // *this* task's variables; the input-map targets write the child's.
+        for &child in &task.children {
+            let opening = &schema.task(child).opening;
+            flow.read.extend(opening.pre.variables());
+            for &(child_var, parent_var) in &opening.input_map {
+                flow.read.insert(parent_var);
+                flow.written.insert(child_var);
+            }
+            for &(parent_var, child_var) in &schema.task(child).closing.output_map {
+                flow.read.insert(child_var);
+                flow.written.insert(parent_var);
+            }
+        }
+        // Opening this task writes its input variables.
+        flow.written.extend(task.input_vars.iter().copied());
+    }
+    flow
+}
+
+/// Runs the dataflow pass and renders its diagnostics.
+pub fn dataflow_diagnostics(
+    system: &ArtifactSystem,
+    property: Option<&HltlFormula>,
+) -> Vec<Diagnostic> {
+    let schema = &system.schema;
+    let flow = dataflow(system, property);
+    let observed: BTreeSet<ServiceRef> = property
+        .map(|p| property_footprint(p).observed_services)
+        .unwrap_or_default();
+    let mut out = Vec::new();
+    // HAS101: variables never read.
+    for (_, task) in schema.tasks() {
+        for &v in &task.variables {
+            if flow.read.contains(&v) {
+                continue;
+            }
+            let var = schema.variable(v);
+            let in_tuple = task
+                .artifact_relation
+                .as_ref()
+                .is_some_and(|ar| ar.tuple.contains(&v));
+            let message = if in_tuple {
+                format!(
+                    "artifact-relation column `{}` is write-only: it is stored and \
+                     retrieved but its value is never consulted",
+                    var.name
+                )
+            } else if flow.written.contains(&v) {
+                format!("variable `{}` is written but never read", var.name)
+            } else {
+                format!("variable `{}` is never used", var.name)
+            };
+            out.push(Diagnostic::warning(101, message).with_task(task.name.clone()));
+        }
+    }
+    // HAS104: internal services whose effects are unobservable.
+    for (tid, task) in schema.tasks() {
+        for (idx, service) in task.internal_services.iter().enumerate() {
+            if service.delta != has_model::SetUpdate::None {
+                continue;
+            }
+            if observed.contains(&ServiceRef::Internal(tid, idx)) {
+                continue;
+            }
+            let constrained: Vec<VarId> = service
+                .post
+                .variables()
+                .into_iter()
+                .filter(|v| !task.input_vars.contains(v))
+                .collect();
+            if constrained.is_empty() || constrained.iter().any(|v| flow.read.contains(v)) {
+                continue;
+            }
+            out.push(
+                Diagnostic::warning(
+                    104,
+                    "service effects are never observed: every variable its \
+                     post-condition constrains is never read",
+                )
+                .with_task(task.name.clone())
+                .with_service(service.name.clone()),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use has_arith::Rational;
+    use has_model::{Condition, SetUpdate, SystemBuilder};
+
+    #[test]
+    fn unread_variable_is_flagged_and_read_one_is_not() {
+        let mut b = SystemBuilder::new("df");
+        let root = b.root_task("Main");
+        let used = b.num_var(root, "used");
+        let _unused = b.num_var(root, "unused");
+        b.internal_service(
+            root,
+            "bump",
+            Condition::eq_const(used, Rational::ZERO),
+            Condition::eq_const(used, Rational::from_int(1)),
+            SetUpdate::None,
+        );
+        let system = b.build().unwrap();
+        let diags = dataflow_diagnostics(&system, None);
+        assert!(
+            diags.iter().any(|d| d.code == 101 && d.message.contains("`unused`")),
+            "{diags:?}"
+        );
+        assert!(!diags.iter().any(|d| d.message.contains("`used`")));
+    }
+
+    #[test]
+    fn unobserved_service_is_flagged_until_property_reads_it() {
+        let mut b = SystemBuilder::new("df2");
+        let root = b.root_task("Main");
+        let ghost = b.num_var(root, "ghost");
+        b.internal_service(
+            root,
+            "shadow",
+            Condition::True,
+            Condition::eq_const(ghost, Rational::from_int(1)),
+            SetUpdate::None,
+        );
+        let system = b.build().unwrap();
+        let diags = dataflow_diagnostics(&system, None);
+        assert!(diags.iter().any(|d| d.code == 104), "{diags:?}");
+        // A property reading `ghost` observes the effect.
+        let mut hb = has_ltl::hltl::HltlBuilder::new(system.root());
+        let set = hb.condition(Condition::eq_const(ghost, Rational::from_int(1)));
+        let property = hb.finish(set.eventually());
+        let diags = dataflow_diagnostics(&system, Some(&property));
+        assert!(!diags.iter().any(|d| d.code == 104), "{diags:?}");
+        // `ghost` is now read (by the property), so HAS101 clears too.
+        assert!(!diags.iter().any(|d| d.code == 101), "{diags:?}");
+    }
+}

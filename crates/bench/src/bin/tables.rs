@@ -11,6 +11,7 @@
 //! #   record per printed row (see has_bench::records_to_json)
 //! ```
 
+use has_analysis::{analyze, Severity};
 use has_arith::{CellSet, LinExpr, Rational};
 use has_bench::{
     bench_config, engine_modes, fast_config, measure, write_records, BenchRecord, Measurement,
@@ -368,6 +369,100 @@ fn exp_cells(rec: &mut Recorder) {
     println!();
 }
 
+/// EXP-A1 — the static analyzer over every workload the harness verifies:
+/// both travel variants, the orders and counter-gadget systems, and the
+/// Tables 1/2 generator grids. Prints each model's full diagnostic report
+/// (stable `HASnnn` codes, `outcome.rs`-style rendering) and exits with
+/// status 1 if any model reports an `Error`-severity finding — which is how
+/// CI lints the workload zoo on every push.
+fn exp_analyze(rec: &mut Recorder) {
+    println!("== EXP-A1: static analysis — diagnostics over all workloads ==");
+    let mut errors = 0usize;
+    let mut lint = |rec: &mut Recorder,
+                    label: &str,
+                    system: &has_model::ArtifactSystem,
+                    property: Option<&has_ltl::HltlFormula>| {
+        let start = Instant::now();
+        let report = analyze(system, property);
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        errors += report.with_severity(Severity::Error).count();
+        println!("--- {label} ---");
+        println!("{report}");
+        println!();
+        rec.raw(BenchRecord {
+            experiment: "analyze".to_string(),
+            label: label.to_string(),
+            time_ms: ms,
+            holds: Some(!report.has_errors()),
+            ..BenchRecord::default()
+        });
+    };
+    for variant in [TravelVariant::Buggy, TravelVariant::Fixed] {
+        let t = travel_booking(variant);
+        let property = travel_property(&t);
+        lint(rec, &format!("travel-booking/{variant:?}"), &t.system, Some(&property));
+    }
+    let o = order_fulfilment();
+    let property = ship_after_quote_property(&o);
+    lint(rec, "orders", &o.system, Some(&property));
+    let g = counter_gadget(2);
+    let property = counter_liveness_property(&g);
+    lint(rec, "counter-gadget/d=2", &g.system, Some(&property));
+    for arithmetic in [false, true] {
+        for params in grid_params(arithmetic) {
+            let generated = params.generate();
+            lint(rec, &generated.label, &generated.system, Some(&generated.property));
+        }
+    }
+    if errors > 0 {
+        eprintln!("error: {errors} Error-severity diagnostic(s) across the workloads");
+        std::process::exit(1);
+    }
+}
+
+/// EXP-A2 — the headline cone-of-influence measurement: the Appendix A.2
+/// policy on the buggy travel instance, whose root carries 12 `TRIPS`
+/// counter dimensions, verified with projection off and on at a fixed
+/// Karp–Miller budget. Projection drops the per-query dimension (the
+/// `proj` column) and collapses the coverability graphs from cap-truncated
+/// to complete — the recorded node counts are the before/after pair
+/// EXPERIMENTS.md quotes.
+fn exp_projection(rec: &mut Recorder) {
+    println!("== EXP-A2: dimension cone-of-influence — travel A.2 at fixed KM cap ==");
+    println!("{}", Measurement::header());
+    let mut nodes = [0usize; 2];
+    for (i, projection) in [false, true].into_iter().enumerate() {
+        let t = travel_booking(TravelVariant::Buggy);
+        let property = travel_property(&t);
+        let config = VerifierConfig {
+            max_successors: 48,
+            max_control_states: 20_000,
+            km_node_cap: 50_000,
+            threads: 1,
+            projection,
+            ..VerifierConfig::default()
+        };
+        let row = measure(
+            &format!("travel-A.2/projection={}", if projection { "on" } else { "off" }),
+            &t.system,
+            &property,
+            config,
+        );
+        nodes[i] = row.coverability_nodes;
+        rec.measurement("projection", &row);
+        println!("{}", row.row());
+    }
+    if nodes[1] > 0 {
+        println!(
+            "km-node reduction factor: {:.2}x ({} -> {})",
+            nodes[0] as f64 / nodes[1] as f64,
+            nodes[0],
+            nodes[1]
+        );
+    }
+    println!();
+}
+
 /// An experiment runner: records its rows into the shared recorder.
 type ExperimentFn = fn(&mut Recorder);
 
@@ -381,6 +476,8 @@ const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("vass", exp_vass),
     ("cells", exp_cells),
     ("scaling", exp_scaling),
+    ("analyze", exp_analyze),
+    ("projection", exp_projection),
 ];
 
 fn main() {

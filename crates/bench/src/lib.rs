@@ -33,19 +33,28 @@ pub struct Measurement {
     pub counter_dimensions: usize,
     /// Cells of the hierarchical cell decomposition (0 without arithmetic).
     pub hcd_cells: usize,
+    /// Counter dimensions summed over all coverability queries before
+    /// cone-of-influence projection.
+    pub counter_dims_before: usize,
+    /// Counter dimensions summed over all coverability queries after
+    /// projection (equals `counter_dims_before` when projection is off).
+    pub counter_dims_after: usize,
+    /// Service guards proven dead and pruned from graph construction.
+    pub dead_services: usize,
 }
 
 impl Measurement {
     /// One formatted row for the `tables` binary.
     pub fn row(&self) -> String {
         format!(
-            "{:<42} {:>7} {:>4} {:>9} {:>9} {:>6} {:>7} {:>9.1}",
+            "{:<42} {:>7} {:>4} {:>9} {:>9} {:>6} {:>9} {:>7} {:>9.1}",
             self.label,
             if self.holds { "holds" } else { "viol." },
             self.threads,
             self.control_states,
             self.coverability_nodes,
             self.counter_dimensions,
+            format!("{}->{}", self.counter_dims_before, self.counter_dims_after),
             self.hcd_cells,
             self.time.as_secs_f64() * 1000.0
         )
@@ -54,8 +63,8 @@ impl Measurement {
     /// The header matching [`Measurement::row`].
     pub fn header() -> String {
         format!(
-            "{:<42} {:>7} {:>4} {:>9} {:>9} {:>6} {:>7} {:>9}",
-            "instance", "result", "thr", "states", "km-nodes", "dims", "cells", "time(ms)"
+            "{:<42} {:>7} {:>4} {:>9} {:>9} {:>6} {:>9} {:>7} {:>9}",
+            "instance", "result", "thr", "states", "km-nodes", "dims", "proj", "cells", "time(ms)"
         )
     }
 }
@@ -85,6 +94,12 @@ pub struct BenchRecord {
     pub counter_dims: Option<usize>,
     /// HCD cells (verifier and cell-sweep rows).
     pub hcd_cells: Option<usize>,
+    /// Query counter dimensions before projection (verifier rows only).
+    pub counter_dims_before: Option<usize>,
+    /// Query counter dimensions after projection (verifier rows only).
+    pub counter_dims_after: Option<usize>,
+    /// Dead service guards pruned (verifier rows only).
+    pub dead_services: Option<usize>,
 }
 
 impl BenchRecord {
@@ -100,6 +115,9 @@ impl BenchRecord {
             km_nodes: Some(m.coverability_nodes),
             counter_dims: Some(m.counter_dimensions),
             hcd_cells: Some(m.hcd_cells),
+            counter_dims_before: Some(m.counter_dims_before),
+            counter_dims_after: Some(m.counter_dims_after),
+            dead_services: Some(m.dead_services),
         }
     }
 
@@ -129,6 +147,15 @@ impl BenchRecord {
         }
         if let Some(cells) = self.hcd_cells {
             let _ = write!(out, ",\"hcd_cells\":{cells}");
+        }
+        if let Some(before) = self.counter_dims_before {
+            let _ = write!(out, ",\"counter_dims_before\":{before}");
+        }
+        if let Some(after) = self.counter_dims_after {
+            let _ = write!(out, ",\"counter_dims_after\":{after}");
+        }
+        if let Some(dead) = self.dead_services {
+            let _ = write!(out, ",\"dead_services\":{dead}");
         }
         out.push('}');
         out
@@ -202,6 +229,9 @@ pub fn measure(
         coverability_nodes: outcome.stats.coverability_nodes,
         counter_dimensions: outcome.stats.counter_dimensions,
         hcd_cells: outcome.stats.hcd_cells,
+        counter_dims_before: outcome.stats.counter_dims_before,
+        counter_dims_after: outcome.stats.counter_dims_after,
+        dead_services: outcome.stats.dead_services_pruned,
     }
 }
 

@@ -312,6 +312,15 @@ pub struct Stats {
     /// Number of cells in the hierarchical cell decomposition (0 when
     /// arithmetic support is disabled).
     pub hcd_cells: usize,
+    /// Counter dimensions summed over all coverability queries *before*
+    /// cone-of-influence projection.
+    pub counter_dims_before: usize,
+    /// Counter dimensions summed over all coverability queries *after*
+    /// projection (equals `counter_dims_before` when projection is off).
+    pub counter_dims_after: usize,
+    /// Service guards proven unsatisfiable and excluded from graph
+    /// construction (0 when projection is off).
+    pub dead_services_pruned: usize,
 }
 
 impl Stats {
@@ -338,6 +347,9 @@ impl Stats {
         self.task_assignments += other.task_assignments;
         self.rt_entries += other.rt_entries;
         self.hcd_cells += other.hcd_cells;
+        self.counter_dims_before += other.counter_dims_before;
+        self.counter_dims_after += other.counter_dims_after;
+        self.dead_services_pruned += other.dead_services_pruned;
     }
 }
 
@@ -345,7 +357,8 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "states={} transitions={} km-nodes={} dims={} buchi={} (T,β)={} R_T={} cells={}",
+            "states={} transitions={} km-nodes={} dims={} buchi={} (T,β)={} R_T={} cells={} \
+             proj={}->{} dead={}",
             self.control_states,
             self.transitions,
             self.coverability_nodes,
@@ -353,7 +366,10 @@ impl fmt::Display for Stats {
             self.buchi_states,
             self.task_assignments,
             self.rt_entries,
-            self.hcd_cells
+            self.hcd_cells,
+            self.counter_dims_before,
+            self.counter_dims_after,
+            self.dead_services_pruned
         )
     }
 }

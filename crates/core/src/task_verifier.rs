@@ -4,6 +4,7 @@
 use crate::compiled::CompiledBuchi;
 use crate::outcome::{Stats, WitnessStep};
 use crate::verifier::VerifierConfig;
+use has_analysis::{dimension_cone, DeadServiceMap};
 use has_ltl::buchi::{Buchi, BuchiState};
 use has_ltl::hltl::TaskProp;
 use has_ltl::Ltl;
@@ -14,6 +15,20 @@ use has_symbolic::{transfer_pattern, ProjectionKey, SymState, TaskContext};
 use has_vass::{BitSet, CoverabilityGraph, CycleSearch, FxHashMap, Interner, Vass};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+
+/// The cost measures of one `(T, β, τ_in)` Lemma 21 query, accumulated into
+/// [`Stats`] by [`TaskVerifier::reduce_queries`]: Karp–Miller nodes explored
+/// and the query's counter dimension before/after cone-of-influence
+/// projection (equal when projection is off or the cone is full).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Karp–Miller coverability-graph nodes this query explored.
+    pub km_nodes: usize,
+    /// The query VASS's dimension before projection.
+    pub dims_before: usize,
+    /// The dimension actually searched (the cone size).
+    pub dims_after: usize,
+}
 
 /// The bottom-up store of completed task summaries the verifier threads
 /// through the hierarchy: values are reference-counted so a scheduler can
@@ -222,6 +237,10 @@ pub struct TaskVerifier<'a> {
     children: Arc<SummaryMap>,
     /// Child contexts (needed to transfer input patterns).
     child_contexts: &'a BTreeMap<TaskId, TaskContext>,
+    /// Guards proven unsatisfiable by the static analyzer; the corresponding
+    /// transitions are skipped during graph construction (empty when
+    /// projection is disabled — see [`crate::VerifierConfig::projection`]).
+    dead: &'a DeadServiceMap,
 }
 
 impl<'a> TaskVerifier<'a> {
@@ -237,6 +256,7 @@ impl<'a> TaskVerifier<'a> {
         buchi: &'a Buchi<TaskProp>,
         children: Arc<SummaryMap>,
         child_contexts: &'a BTreeMap<TaskId, TaskContext>,
+        dead: &'a DeadServiceMap,
     ) -> Self {
         let mut props: Vec<TaskProp> = phi
             .iter()
@@ -256,7 +276,16 @@ impl<'a> TaskVerifier<'a> {
             props,
             children,
             child_contexts,
+            dead,
         }
+    }
+
+    /// Whether the static analyzer proved the given internal service of this
+    /// task unfireable (its pre- or post-condition is unsatisfiable).
+    fn dead_internal(&self, service_idx: usize) -> bool {
+        self.dead
+            .get(&self.task)
+            .is_some_and(|d| d.internal.get(service_idx).copied().unwrap_or(false))
     }
 
     fn schema(&self) -> &has_model::ArtifactSchema {
@@ -741,7 +770,7 @@ impl<'a> TaskVerifier<'a> {
     /// [`TaskVerifier::reduce_queries`].
     pub fn explore(&self) -> (Vec<RtEntry>, Stats) {
         let graph = self.build_graph();
-        let per_init: Vec<(Vec<RtEntry>, usize)> = (0..graph.initial_count())
+        let per_init: Vec<(Vec<RtEntry>, QueryCost)> = (0..graph.initial_count())
             .map(|pos| self.init_queries(&graph, pos))
             .collect();
         Self::reduce_queries(&graph, per_init)
@@ -851,7 +880,9 @@ impl<'a> TaskVerifier<'a> {
             // --- Internal services -------------------------------------
             if !has_active_children {
                 for (service_idx, service) in t.internal_services.iter().enumerate() {
-                    if !self.sat_optimistic(syms.get(current.sym), &service.pre) {
+                    if self.dead_internal(service_idx)
+                        || !self.sat_optimistic(syms.get(current.sym), &service.pre)
+                    {
                         continue;
                     }
                     let cache_key = (current.sym, service_idx);
@@ -913,6 +944,9 @@ impl<'a> TaskVerifier<'a> {
             // --- Opening a child ----------------------------------------
             for &child in &t.children {
                 if current.child_status(child).is_some() {
+                    continue;
+                }
+                if self.dead.get(&child).is_some_and(|d| d.opening) {
                     continue;
                 }
                 let opening_pre = &schema.task(child).opening.pre;
@@ -992,6 +1026,7 @@ impl<'a> TaskVerifier<'a> {
             // --- Closing the task itself --------------------------------
             if self.task != schema.root
                 && !has_active_children
+                && !self.dead.get(&self.task).is_some_and(|d| d.closing)
                 && self.sat_optimistic(syms.get(current.sym), &t.closing.pre)
             {
                 let sref = ServiceRef::Closing(self.task);
@@ -1074,11 +1109,33 @@ impl<'a> TaskVerifier<'a> {
     /// that happens in [`TaskVerifier::reduce_queries`], which must run over
     /// initial states in order. Queries for distinct initial states only read
     /// the graph, so the parallel engine runs them concurrently.
-    pub fn init_queries(&self, graph: &ExploredGraph, pos: usize) -> (Vec<RtEntry>, usize) {
+    ///
+    /// With [`crate::VerifierConfig::projection`] on, the query's VASS is
+    /// first projected onto its dimension cone of influence
+    /// ([`has_analysis::dimension_cone`]) — an exact reduction: counter
+    /// dimensions that cannot block any run from *this* initial state are
+    /// dropped (and actions proven unfireable are disabled) before the
+    /// Karp–Miller construction, which is the step whose cost explodes with
+    /// the dimension. Action indices are preserved by the projection, so
+    /// witness paths keep indexing into `graph.labels`.
+    pub fn init_queries(&self, graph: &ExploredGraph, pos: usize) -> (Vec<RtEntry>, QueryCost) {
         let init = graph.initial_states[pos];
         let states = &graph.states;
         let input_key = graph.input_keys[states[init].input_index].clone();
-        let cover = CoverabilityGraph::build_capped(&graph.vass, init, self.config.km_node_cap);
+        let mut cost = QueryCost {
+            km_nodes: 0,
+            dims_before: graph.vass.dim,
+            dims_after: graph.vass.dim,
+        };
+        let projected: Option<Vass> = if self.config.projection {
+            let cone = dimension_cone(&graph.vass, init);
+            cost.dims_after = cone.dims_after();
+            (!cone.is_trivial()).then(|| cone.project(&graph.vass))
+        } else {
+            None
+        };
+        let vass = projected.as_ref().unwrap_or(&graph.vass);
+        let cover = CoverabilityGraph::build_capped(vass, init, self.config.km_node_cap);
         let mut candidates: Vec<RtEntry> = Vec::new();
         let finite_ok = |s: &CState| self.cbuchi.is_finite_accepting(s.q);
 
@@ -1155,7 +1212,7 @@ impl<'a> TaskVerifier<'a> {
             let accepting = |s: usize| graph.accepting.contains(s);
             let (lasso, details) = if retain {
                 match cover.nonneg_cycle_search_through_pred(
-                    &graph.vass,
+                    vass,
                     &accepting,
                     WITNESS_CYCLE_CAP,
                 ) {
@@ -1181,10 +1238,7 @@ impl<'a> TaskVerifier<'a> {
                     ),
                 }
             } else {
-                (
-                    cover.nonneg_cycle_through_pred(&graph.vass, &accepting),
-                    None,
-                )
+                (cover.nonneg_cycle_through_pred(vass, &accepting), None)
             };
             if lasso {
                 candidates.push(RtEntry {
@@ -1199,7 +1253,8 @@ impl<'a> TaskVerifier<'a> {
                 });
             }
         }
-        (candidates, cover.node_count())
+        cost.km_nodes = cover.node_count();
+        (candidates, cost)
     }
 
     /// Combines per-initial-state query results — which **must** be supplied
@@ -1218,12 +1273,14 @@ impl<'a> TaskVerifier<'a> {
     /// counterexample — are identical at every thread count.
     pub fn reduce_queries(
         graph: &ExploredGraph,
-        per_init: impl IntoIterator<Item = (Vec<RtEntry>, usize)>,
+        per_init: impl IntoIterator<Item = (Vec<RtEntry>, QueryCost)>,
     ) -> (Vec<RtEntry>, Stats) {
         let mut stats = graph.stats.clone();
         let mut entries: Vec<RtEntry> = Vec::new();
-        for (candidates, km_nodes) in per_init {
-            stats.coverability_nodes += km_nodes;
+        for (candidates, cost) in per_init {
+            stats.coverability_nodes += cost.km_nodes;
+            stats.counter_dims_before += cost.dims_before;
+            stats.counter_dims_after += cost.dims_after;
             for e in candidates {
                 match entries.iter_mut().find(|kept| kept.same_tuple(&e)) {
                     Some(kept) => {

@@ -4,7 +4,10 @@
 use crate::outcome::{Outcome, Stats, Violation, ViolationKind, WitnessNode, WitnessStep};
 use crate::parallel::{run_pool, WorkerHandle};
 use crate::property::PropertyContext;
-use crate::task_verifier::{ExploredGraph, RtEntry, SummaryMap, TaskSummary, TaskVerifier};
+use crate::task_verifier::{
+    ExploredGraph, QueryCost, RtEntry, SummaryMap, TaskSummary, TaskVerifier,
+};
+use has_analysis::{DeadServiceMap, DeadServices};
 use has_arith::{HcdBuilder, LinExpr};
 use has_ltl::buchi::Buchi;
 use has_ltl::hltl::TaskProp;
@@ -65,6 +68,16 @@ pub struct VerifierConfig {
     /// and the kind becomes [`crate::ViolationKind::Returning`] when a
     /// returned sub-call carries the violation.
     pub witnesses: bool,
+    /// Whether to apply the static-analysis reductions before and during the
+    /// search: services with guards proven unsatisfiable (by the exact
+    /// Fourier–Motzkin decision of `has_analysis`) are excluded from graph
+    /// construction, and each Lemma 21 coverability query is projected onto
+    /// its dimension cone of influence. Both reductions are exact — every
+    /// verdict, entry list and witness is identical with and without them
+    /// (DESIGN.md §5.9) — only `coverability_nodes` and the
+    /// `counter_dims_*`/`dead_services_pruned` statistics change. On by
+    /// default; defaults to [`VerifierConfig::default_projection`].
+    pub projection: bool,
 }
 
 impl Default for VerifierConfig {
@@ -79,6 +92,7 @@ impl Default for VerifierConfig {
             use_cells: false,
             threads: Self::default_threads(),
             witnesses: false,
+            projection: Self::default_projection(),
         }
     }
 }
@@ -100,6 +114,19 @@ impl VerifierConfig {
             .unwrap_or(1)
     }
 
+    /// The default projection switch: *on*, unless the `HAS_PROJECTION`
+    /// environment variable is set to `0`, `off` or `false` (the opt-out
+    /// exists for A/B benchmarking — see EXPERIMENTS.md).
+    pub fn default_projection() -> bool {
+        match std::env::var("HAS_PROJECTION") {
+            Ok(value) => !matches!(
+                value.trim().to_ascii_lowercase().as_str(),
+                "0" | "off" | "false"
+            ),
+            Err(_) => true,
+        }
+    }
+
     /// Returns this configuration with the given worker count.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -112,6 +139,14 @@ impl VerifierConfig {
     #[must_use]
     pub fn with_witnesses(mut self, witnesses: bool) -> Self {
         self.witnesses = witnesses;
+        self
+    }
+
+    /// Returns this configuration with the static-analysis reductions
+    /// switched on or off (see [`VerifierConfig::projection`]).
+    #[must_use]
+    pub fn with_projection(mut self, projection: bool) -> Self {
+        self.projection = projection;
         self
     }
 }
@@ -178,12 +213,23 @@ impl<'a> Verifier<'a> {
         // share it immutably.
         pc.precompute_automata();
 
+        // Dead-service pruning: guards proven unsatisfiable by the exact
+        // analyzer are excluded from every graph construction. An invalid
+        // system yields an error report with an empty dead map — no pruning,
+        // and the exploration behaves exactly as before the analyzer existed.
+        let dead: DeadServiceMap = if self.config.projection {
+            has_analysis::analyze(self.system, Some(self.property)).dead
+        } else {
+            DeadServiceMap::new()
+        };
+        stats.dead_services_pruned = dead.values().map(DeadServices::count).sum();
+
         let order = self.bottom_up_order();
         let threads = self.config.threads.max(1);
         let (summaries, explored) = if threads == 1 {
-            self.run_sequential(&pc, &order)
+            self.run_sequential(&pc, &order, &dead)
         } else {
-            self.run_parallel(&pc, &order, threads)
+            self.run_parallel(&pc, &order, threads, &dead)
         };
         stats = stats.merge(&explored);
 
@@ -365,7 +411,12 @@ impl<'a> Verifier<'a> {
     /// bottom-up task order, each immediately followed by its Lemma 21
     /// queries. This is the `threads = 1` code path — no worker threads are
     /// spawned anywhere.
-    fn run_sequential(&self, pc: &PropertyContext, order: &[TaskId]) -> (SummaryMap, Stats) {
+    fn run_sequential(
+        &self,
+        pc: &PropertyContext,
+        order: &[TaskId],
+        dead: &DeadServiceMap,
+    ) -> (SummaryMap, Stats) {
         let contexts = &*pc.contexts;
         let mut stats = Stats::default();
         let mut summaries: Arc<SummaryMap> = Arc::new(SummaryMap::new());
@@ -383,6 +434,7 @@ impl<'a> Verifier<'a> {
                     &buchi,
                     Arc::clone(&summaries),
                     contexts,
+                    dead,
                 );
                 let (entries, task_stats) = tv.explore();
                 self.debug_pair(task, &beta, &entries, &task_stats);
@@ -427,6 +479,7 @@ impl<'a> Verifier<'a> {
         pc: &PropertyContext,
         order: &[TaskId],
         threads: usize,
+        dead: &DeadServiceMap,
     ) -> (SummaryMap, Stats) {
         let schema = &self.system.schema;
         let contexts = &*pc.contexts;
@@ -482,7 +535,7 @@ impl<'a> Verifier<'a> {
         // Ordered-reduction buffer of one (T, β) pair.
         struct PairState<'a> {
             runtime: Option<Arc<PairRuntime<'a>>>,
-            results: Vec<Option<(Vec<RtEntry>, usize)>>,
+            results: Vec<Option<(Vec<RtEntry>, QueryCost)>>,
             remaining: usize,
             reduced: Option<ReducedPair>,
         }
@@ -566,6 +619,7 @@ impl<'a> Verifier<'a> {
                     &buchis[p],
                     snapshot,
                     contexts,
+                    dead,
                 );
                 let graph = verifier.build_graph();
                 let inits = graph.initial_count();
@@ -598,7 +652,7 @@ impl<'a> Verifier<'a> {
                     state.remaining -= 1;
                     if state.remaining == 0 {
                         let runtime = state.runtime.take().expect("runtime set until last query");
-                        let per_init: Vec<(Vec<RtEntry>, usize)> = state
+                        let per_init: Vec<(Vec<RtEntry>, QueryCost)> = state
                             .results
                             .drain(..)
                             .map(|r| r.expect("every query filled its slot"))

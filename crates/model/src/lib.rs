@@ -22,7 +22,7 @@
 //! in Tables 1 and 2).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod builder;
 pub mod condition;

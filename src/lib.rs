@@ -2,6 +2,7 @@
 //!
 //! See the individual crates for details:
 //! - [`has_model`] — the HAS model (schemas, tasks, services, conditions)
+//! - [`has_analysis`] — static analysis: dataflow, dead services, dimension cones
 //! - [`has_data`] — concrete relational database substrate
 //! - [`has_arith`] — linear arithmetic, cells, quantifier elimination
 //! - [`has_ltl`] — LTL / Büchi automata / HLTL-FO
@@ -64,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub use has_analysis as analysis;
 pub use has_arith as arith;
 pub use has_core as verifier;
 pub use has_data as data;

@@ -1,0 +1,142 @@
+//! End-to-end contract of the static analyzer (`has-analysis`): every
+//! system the workload generator can produce validates and analyzes without
+//! `Error`-severity diagnostics, and a hand-built model with a provably
+//! unsatisfiable guard is reported dead (`HAS105`), pruned by the verifier,
+//! and pruned *exactly* — the verdict matches the unpruned run.
+
+use has::analysis::{analyze, Severity};
+use has::arith::Rational;
+use has::ltl::hltl::HltlBuilder;
+use has::model::{Condition, SetUpdate, SystemBuilder};
+use has::verifier::{Verifier, VerifierConfig};
+use has::workloads::generator::GeneratorParams;
+use has_model::SchemaClass;
+use proptest::prelude::*;
+
+/// Strategy: a small random parameter point of the Tables 1/2 generator.
+fn arb_params() -> impl Strategy<Value = GeneratorParams> {
+    (
+        prop_oneof![
+            Just(SchemaClass::Acyclic),
+            Just(SchemaClass::LinearlyCyclic),
+            Just(SchemaClass::Cyclic),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        1usize..=3,
+        1usize..=2,
+        1usize..=2,
+    )
+        .prop_map(
+            |(schema_class, artifact_relations, arithmetic, depth, width, numeric_vars)| {
+                GeneratorParams {
+                    schema_class,
+                    artifact_relations,
+                    arithmetic,
+                    depth,
+                    width,
+                    numeric_vars,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The generator only produces well-formed systems: analysis runs to
+    /// completion and reports no `Error`-severity diagnostic on any
+    /// parameter point (warnings about e.g. write-only columns are fine).
+    #[test]
+    fn generated_systems_analyze_without_errors(params in arb_params()) {
+        let generated = params.generate();
+        let report = analyze(&generated.system, Some(&generated.property));
+        prop_assert!(
+            !report.has_errors(),
+            "{}: {}",
+            generated.label,
+            report
+        );
+    }
+}
+
+/// The deep-narrow stress family is covered explicitly (it is not in the
+/// random grid's parameter box).
+#[test]
+fn deep_narrow_chain_analyzes_without_errors() {
+    let generated = GeneratorParams::deep_narrow(6).generate();
+    let report = analyze(&generated.system, Some(&generated.property));
+    assert!(!report.has_errors(), "{}", report);
+}
+
+/// A root task with one live service and one whose guard is the
+/// contradiction `x = 0 ∧ x = 1`. The property only observes the live
+/// service's effect, so the dead one is semantically irrelevant — which is
+/// exactly what the analyzer must prove and the verifier must exploit.
+fn dead_guard_fixture() -> (has::model::ArtifactSystem, has::ltl::HltlFormula) {
+    let mut b = SystemBuilder::new("dead-guard");
+    let root = b.root_task("Main");
+    let x = b.num_var(root, "x");
+    b.internal_service(
+        root,
+        "live",
+        Condition::True,
+        Condition::eq_const(x, Rational::from_int(1)),
+        SetUpdate::None,
+    );
+    b.internal_service(
+        root,
+        "stuck",
+        Condition::eq_const(x, Rational::ZERO).and(Condition::eq_const(x, Rational::from_int(1))),
+        Condition::eq_const(x, Rational::from_int(2)),
+        SetUpdate::None,
+    );
+    let system = b.build().unwrap();
+    let mut hb = HltlBuilder::new(system.root());
+    let set = hb.condition(Condition::eq_const(x, Rational::from_int(1)));
+    let property = hb.finish(set.eventually());
+    (system, property)
+}
+
+/// The unsatisfiable guard is decided exactly and reported as `HAS105`.
+#[test]
+fn unsatisfiable_guard_is_reported_dead() {
+    let (system, property) = dead_guard_fixture();
+    let report = analyze(&system, Some(&property));
+    assert!(!report.has_errors(), "{report}");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == 105 && d.severity == Severity::Warning),
+        "expected HAS105 for `stuck`: {report}"
+    );
+    assert_eq!(report.dead_guard_count(), 1, "{report}");
+}
+
+/// The verifier prunes the dead service from graph construction (visible in
+/// `Stats::dead_services_pruned`) and the pruned verdict matches the
+/// unpruned one.
+#[test]
+fn dead_guard_pruning_preserves_the_verdict() {
+    let (system, property) = dead_guard_fixture();
+    let on = Verifier::with_config(
+        &system,
+        &property,
+        VerifierConfig::default().with_threads(1).with_projection(true),
+    )
+    .verify();
+    let off = Verifier::with_config(
+        &system,
+        &property,
+        VerifierConfig::default().with_threads(1).with_projection(false),
+    )
+    .verify();
+    assert!(on.stats.dead_services_pruned > 0, "{}", on.stats);
+    assert_eq!(off.stats.dead_services_pruned, 0, "{}", off.stats);
+    assert_eq!(on.holds, off.holds);
+    assert_eq!(
+        on.violation.as_ref().map(|v| v.kind),
+        off.violation.as_ref().map(|v| v.kind)
+    );
+}
