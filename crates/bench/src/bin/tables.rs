@@ -17,6 +17,7 @@ use has_bench::{
     bench_config, engine_modes, fast_config, measure, write_records, BenchRecord, Measurement,
 };
 use has_core::{Outcome, Verifier, VerifierConfig};
+use has_corpus::{fuzz, FuzzOptions};
 use has_model::SchemaClass;
 use has_vass::{CoverabilityGraph, Vass};
 use has_workloads::counters::{counter_gadget, counter_liveness_property};
@@ -463,6 +464,99 @@ fn exp_projection(rec: &mut Recorder) {
     println!();
 }
 
+/// EXP-C1/C2 — differential fuzzing of the verifier against the seeded
+/// ground-truth corpus (DESIGN.md §5.10): every sampled instance carries a
+/// certificate (clean by construction, or exactly one planted violation with
+/// its kind and originating task), and every instance runs through the full
+/// configuration matrix — threads × projection × witnesses — with each
+/// reconstructed witness tree replayed through the `has-sim` executor and
+/// judged by the runtime monitor. Prints the per-certificate-kind scoreboard
+/// and exits with status 1 on any soundness mismatch — which is how CI
+/// scores the verifier on every push. `HAS_FUZZ_DEEP=1` switches from the
+/// smoke batch (EXP-C1) to the deep sweep (EXP-C2, ≥1,000 instances).
+fn exp_fuzz(rec: &mut Recorder) {
+    let deep = std::env::var("HAS_FUZZ_DEEP").map(|v| v == "1").unwrap_or(false);
+    // ~3s per instance across the 8-point matrix on a single core: 18
+    // instances (three full plant rotations, so every certificate kind is
+    // scored evenly) keep the smoke within CI's `timeout 120` with margin;
+    // the deep sweep covers the acceptance bar of ≥1,000 instances.
+    let opts = FuzzOptions {
+        count: if deep { 1200 } else { 18 },
+        ..FuzzOptions::default()
+    };
+    println!(
+        "== EXP-C{}: differential fuzzing — {} corpus instances (seed {:#x}) ==",
+        if deep { 2 } else { 1 },
+        opts.count,
+        opts.seed
+    );
+    let start = Instant::now();
+    let report = fuzz(&opts);
+    let ms = start.elapsed().as_secs_f64() * 1000.0;
+    println!(
+        "{:<12} {:>6} {:>8} {:>8} {:>8}",
+        "certificate", "runs", "agreed", "bounded", "recall"
+    );
+    for (name, score) in [
+        ("clean", report.clean),
+        ("lasso", report.lasso),
+        ("blocking", report.blocking),
+        ("returning", report.returning),
+    ] {
+        println!(
+            "{:<12} {:>6} {:>8} {:>8} {:>7.1}%",
+            name,
+            score.runs,
+            score.agreed,
+            score.bounded,
+            score.recall() * 100.0
+        );
+        rec.raw(BenchRecord {
+            experiment: "fuzz".to_string(),
+            label: format!("fuzz/{name}"),
+            time_ms: ms / 4.0,
+            holds: Some(score.agreed + score.bounded == score.runs),
+            instances: Some(score.runs),
+            mismatches: Some(score.runs - score.agreed - score.bounded),
+            bounded: Some(score.bounded),
+            ..BenchRecord::default()
+        });
+    }
+    println!(
+        "instances {}  runs {}  witness replays {}  bounded {}  mismatches {}  ({:.1}s)",
+        report.instances,
+        report.runs,
+        report.replays,
+        report.bounded(),
+        report.mismatches.len(),
+        ms / 1000.0
+    );
+    rec.raw(BenchRecord {
+        experiment: "fuzz".to_string(),
+        label: format!("fuzz/total(seed={:#x},count={})", opts.seed, opts.count),
+        time_ms: ms,
+        holds: Some(report.sound()),
+        instances: Some(report.instances),
+        mismatches: Some(report.mismatches.len()),
+        bounded: Some(report.bounded()),
+        ..BenchRecord::default()
+    });
+    println!();
+    if !report.sound() {
+        for m in &report.mismatches {
+            eprintln!(
+                "MISMATCH {} [{}] ({}): {}\n  params    {:?}\n  minimized {:?}",
+                m.label, m.plant, m.at, m.detail, m.params, m.minimized
+            );
+        }
+        eprintln!(
+            "error: {} soundness mismatch(es) against the ground-truth corpus",
+            report.mismatches.len()
+        );
+        std::process::exit(1);
+    }
+}
+
 /// An experiment runner: records its rows into the shared recorder.
 type ExperimentFn = fn(&mut Recorder);
 
@@ -478,6 +572,7 @@ const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("scaling", exp_scaling),
     ("analyze", exp_analyze),
     ("projection", exp_projection),
+    ("fuzz", exp_fuzz),
 ];
 
 fn main() {

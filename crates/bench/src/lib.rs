@@ -100,6 +100,12 @@ pub struct BenchRecord {
     pub counter_dims_after: Option<usize>,
     /// Dead service guards pruned (verifier rows only).
     pub dead_services: Option<usize>,
+    /// Corpus instances scored (fuzz rows only).
+    pub instances: Option<usize>,
+    /// Soundness mismatches found (fuzz rows only).
+    pub mismatches: Option<usize>,
+    /// Runs excused as bounded by the exploration caps (fuzz rows only).
+    pub bounded: Option<usize>,
 }
 
 impl BenchRecord {
@@ -118,6 +124,7 @@ impl BenchRecord {
             counter_dims_before: Some(m.counter_dims_before),
             counter_dims_after: Some(m.counter_dims_after),
             dead_services: Some(m.dead_services),
+            ..BenchRecord::default()
         }
     }
 
@@ -156,6 +163,15 @@ impl BenchRecord {
         }
         if let Some(dead) = self.dead_services {
             let _ = write!(out, ",\"dead_services\":{dead}");
+        }
+        if let Some(instances) = self.instances {
+            let _ = write!(out, ",\"instances\":{instances}");
+        }
+        if let Some(mismatches) = self.mismatches {
+            let _ = write!(out, ",\"mismatches\":{mismatches}");
+        }
+        if let Some(bounded) = self.bounded {
+            let _ = write!(out, ",\"bounded\":{bounded}");
         }
         out.push('}');
         out

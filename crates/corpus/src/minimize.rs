@@ -1,0 +1,106 @@
+//! Delta-minimization of mismatching instances.
+//!
+//! When the fuzz driver finds a mismatch it shrinks the *generator
+//! parameters* while the mismatch persists, so a fuzz failure lands as the
+//! smallest instance of its family — the committed regression is readable
+//! instead of being a depth-3 arithmetic instance with artifact relations.
+
+use has_model::SchemaClass;
+use has_workloads::generator::GeneratorParams;
+
+/// Candidate one-step reductions of a parameter point, in the order tried:
+/// drop hierarchy levels, then branching, then numeric dimensions, then the
+/// feature toggles, then the schema-class complexity.
+fn reductions(p: &GeneratorParams) -> Vec<GeneratorParams> {
+    let mut out = Vec::new();
+    if p.depth > 1 {
+        out.push(GeneratorParams {
+            depth: p.depth - 1,
+            ..p.clone()
+        });
+    }
+    if p.width > 1 {
+        out.push(GeneratorParams {
+            width: p.width - 1,
+            ..p.clone()
+        });
+    }
+    if p.numeric_vars > 0 {
+        out.push(GeneratorParams {
+            numeric_vars: p.numeric_vars - 1,
+            ..p.clone()
+        });
+    }
+    if p.artifact_relations {
+        out.push(GeneratorParams {
+            artifact_relations: false,
+            ..p.clone()
+        });
+    }
+    if p.arithmetic {
+        out.push(GeneratorParams {
+            arithmetic: false,
+            ..p.clone()
+        });
+    }
+    if p.schema_class != SchemaClass::Acyclic {
+        out.push(GeneratorParams {
+            schema_class: SchemaClass::Acyclic,
+            ..p.clone()
+        });
+    }
+    out
+}
+
+/// Greedily shrinks `params` while `still_fails` keeps returning `true` for
+/// the reduced point, to a local minimum: no single further reduction
+/// preserves the failure.
+pub fn minimize_params<F>(params: &GeneratorParams, mut still_fails: F) -> GeneratorParams
+where
+    F: FnMut(&GeneratorParams) -> bool,
+{
+    let mut current = params.clone();
+    loop {
+        let Some(next) = reductions(&current)
+            .into_iter()
+            .find(|candidate| still_fails(candidate))
+        else {
+            return current;
+        };
+        current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic failure predicate ("fails whenever depth ≥ 2") minimizes
+    /// to the smallest parameter point still satisfying it.
+    #[test]
+    fn minimization_reaches_a_local_minimum() {
+        let start = GeneratorParams {
+            schema_class: SchemaClass::Cyclic,
+            depth: 3,
+            width: 2,
+            numeric_vars: 2,
+            artifact_relations: true,
+            arithmetic: true,
+        };
+        let min = minimize_params(&start, |p| p.depth >= 2);
+        assert_eq!(min.depth, 2);
+        assert_eq!(min.width, 1);
+        assert_eq!(min.numeric_vars, 0);
+        assert!(!min.artifact_relations);
+        assert!(!min.arithmetic);
+        assert_eq!(min.schema_class, SchemaClass::Acyclic);
+    }
+
+    /// If no reduction preserves the failure the original point is returned.
+    #[test]
+    fn irreducible_points_are_returned_unchanged() {
+        let start = GeneratorParams::default();
+        let min = minimize_params(&start, |_| false);
+        assert_eq!(format!("{start:?}"), format!("{min:?}"));
+    }
+}

@@ -16,7 +16,7 @@
 //! evaluation, and random database generation.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod database;
 pub mod evaluate;

@@ -3,12 +3,12 @@
 use crate::trace::{Step, TaskTrace, TreeOfRuns};
 use has_data::{eval_condition, DatabaseInstance, Valuation, Value};
 use has_model::{
-    ArtifactSystem, Condition, ServiceRef, TaskId, VarId, VarSort,
+    ArtifactSchema, ArtifactSystem, Atom, Condition, ServiceRef, TaskId, Term, VarId, VarSort,
 };
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration of the randomized executor.
 #[derive(Clone, Debug)]
@@ -80,12 +80,11 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// Runs one randomized execution and returns the recorded tree of local
-    /// runs.
-    pub fn run(&mut self) -> TreeOfRuns {
+    /// Sets up the tree's root node and the root task instance (shared
+    /// between the randomized executor and the scripted replayer).
+    pub(crate) fn init_root(&mut self, tree: &mut TreeOfRuns) -> TaskInstance {
         let schema = &self.system.schema;
         let root = schema.root;
-        let mut tree = TreeOfRuns::default();
         tree.nodes.push(TaskTrace {
             task: root,
             steps: Vec::new(),
@@ -111,6 +110,14 @@ impl<'a> Executor<'a> {
             valuation: root_instance.valuation.clone(),
             child: None,
         });
+        root_instance
+    }
+
+    /// Runs one randomized execution and returns the recorded tree of local
+    /// runs.
+    pub fn run(&mut self) -> TreeOfRuns {
+        let mut tree = TreeOfRuns::default();
+        let root_instance = self.init_root(&mut tree);
 
         // The stack of active instances: the root plus any transitively open
         // children. Steps pick a random active instance and a random enabled
@@ -191,7 +198,7 @@ impl<'a> Executor<'a> {
         false
     }
 
-    fn fire_internal(
+    pub(crate) fn fire_internal(
         &mut self,
         idx: usize,
         service_idx: usize,
@@ -255,7 +262,7 @@ impl<'a> Executor<'a> {
         true
     }
 
-    fn fire_open(
+    pub(crate) fn fire_open(
         &mut self,
         idx: usize,
         child: TaskId,
@@ -307,7 +314,7 @@ impl<'a> Executor<'a> {
         true
     }
 
-    fn fire_close(
+    pub(crate) fn fire_close(
         &mut self,
         idx: usize,
         child_pos: usize,
@@ -370,13 +377,23 @@ impl<'a> Executor<'a> {
     /// Samples a valuation of `free_vars` extending `base` that satisfies the
     /// condition on the concrete database, or `None` after the configured
     /// number of attempts.
-    fn solve_condition(
+    ///
+    /// Blind joint sampling has vanishing success probability on wide
+    /// conjunctions (five independently pinned variables already put one
+    /// sample below 1e-4), so every other attempt is *hinted*: variables
+    /// pinned by a positive conjunct are proposed at their pinned value.
+    /// Hints only shape the proposal distribution — acceptance is still
+    /// decided by `eval_condition`, so unsatisfiable hints cost nothing and
+    /// the un-hinted attempts keep exploring the full space.
+    pub(crate) fn solve_condition(
         &mut self,
         base: &Valuation,
         free_vars: &[VarId],
         condition: &Condition,
     ) -> Option<Valuation> {
         let schema = &self.system.schema;
+        let mut atoms = Vec::new();
+        positive_conjuncts(condition, &mut atoms);
         // Candidate value pools.
         let ids: Vec<Value> = self
             .db
@@ -391,18 +408,27 @@ impl<'a> Executor<'a> {
             .filter(|v| v.as_num().is_some())
             .collect();
         numerics.extend((0..6).map(Value::num));
-        for _ in 0..self.config.post_samples {
+        for attempt in 0..self.config.post_samples {
+            let hints = if attempt % 2 == 0 && !atoms.is_empty() {
+                condition_hints(&mut self.rng, self.db, schema, base, free_vars, &atoms)
+            } else {
+                BTreeMap::new()
+            };
             let mut candidate = base.clone();
             for &v in free_vars {
-                let value = match schema.variable(v).sort {
-                    VarSort::Id => {
-                        if self.rng.random_bool(0.3) || ids.is_empty() {
-                            Value::Null
-                        } else {
-                            *ids.choose(&mut self.rng).expect("non-empty")
+                let value = if let Some(hinted) = hints.get(&v) {
+                    *hinted
+                } else {
+                    match schema.variable(v).sort {
+                        VarSort::Id => {
+                            if self.rng.random_bool(0.3) || ids.is_empty() {
+                                Value::Null
+                            } else {
+                                *ids.choose(&mut self.rng).expect("non-empty")
+                            }
                         }
+                        VarSort::Numeric => *numerics.choose(&mut self.rng).expect("non-empty"),
                     }
-                    VarSort::Numeric => *numerics.choose(&mut self.rng).expect("non-empty"),
                 };
                 candidate.set(v, value);
             }
@@ -412,6 +438,89 @@ impl<'a> Executor<'a> {
         }
         None
     }
+}
+
+/// Collects the positive atomic conjuncts of a condition: the `Atom` leaves
+/// reachable through `And` nodes only. `Not`/`Or` subtrees are skipped —
+/// their atoms are not implied by the condition, so they must not pin
+/// proposal values.
+fn positive_conjuncts<'c>(condition: &'c Condition, out: &mut Vec<&'c Atom>) {
+    match condition {
+        Condition::And(parts) => {
+            for part in parts {
+                positive_conjuncts(part, out);
+            }
+        }
+        Condition::Atom(atom) => out.push(atom),
+        _ => {}
+    }
+}
+
+/// Derives per-variable proposal values from positive conjuncts: `v = null`
+/// and `v = c` pin `v` directly, a positive relation atom pins its variable
+/// arguments to a randomly chosen row of that relation, and `v = w`
+/// equalities propagate known bindings (from hints or from `base` for
+/// non-free variables) through short chains.
+fn condition_hints(
+    rng: &mut StdRng,
+    db: &DatabaseInstance,
+    schema: &ArtifactSchema,
+    base: &Valuation,
+    free_vars: &[VarId],
+    atoms: &[&Atom],
+) -> BTreeMap<VarId, Value> {
+    let mut hints: BTreeMap<VarId, Value> = BTreeMap::new();
+    for atom in atoms {
+        if let Atom::Eq(a, b) = atom {
+            match (a, b) {
+                (Term::Var(v), Term::Null) | (Term::Null, Term::Var(v)) => {
+                    hints.insert(*v, Value::Null);
+                }
+                (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+                    hints.insert(*v, Value::Num(*c));
+                }
+                _ => {}
+            }
+        }
+    }
+    for atom in atoms {
+        if let Atom::Relation { relation, args } = atom {
+            let n = db.cardinality(*relation);
+            if n == 0 {
+                continue;
+            }
+            let pick = rng.random_range(0..n);
+            if let Some(row) = db.rows(*relation).nth(pick) {
+                for (term, value) in args.iter().zip(row.iter()) {
+                    if let Term::Var(v) = term {
+                        hints.entry(*v).or_insert(*value);
+                    }
+                }
+            }
+        }
+    }
+    for _ in 0..2 {
+        for atom in atoms {
+            if let Atom::Eq(Term::Var(a), Term::Var(b)) = atom {
+                let known = |v: VarId, hints: &BTreeMap<VarId, Value>| {
+                    hints
+                        .get(&v)
+                        .copied()
+                        .or_else(|| (!free_vars.contains(&v)).then(|| base.get(schema, v)))
+                };
+                match (known(*a, &hints), known(*b, &hints)) {
+                    (Some(x), None) => {
+                        hints.insert(*b, x);
+                    }
+                    (None, Some(x)) => {
+                        hints.insert(*a, x);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    hints
 }
 
 #[cfg(test)]

@@ -14,15 +14,21 @@
 //! * [`monitor`] — evaluates HLTL-FO formulas on the (finite prefixes of)
 //!   recorded runs, serving as an independent oracle for the verifier on
 //!   small instances: a concrete violation found by simulation implies the
-//!   verifier must report a violation.
+//!   verifier must report a violation;
+//! * [`mod@replay`] — *scripted* execution: follows a prescribed sequence of
+//!   moves per task instance under the same firing rules, which is how
+//!   symbolic counterexample witnesses are re-executed and checked against
+//!   the monitor (`has-corpus` drives this).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod execution;
 pub mod monitor;
+pub mod replay;
 pub mod trace;
 
 pub use execution::{ExecutionConfig, Executor, StepKind, TaskInstance};
 pub use monitor::monitor_property;
+pub use replay::{replay, replay_with_retries, ReplayError, RunScript, ScriptMove};
 pub use trace::{TaskTrace, TreeOfRuns};

@@ -15,12 +15,12 @@
 //!   cyclic), hierarchy depth and width, artifact relations, and arithmetic.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod counters;
 pub mod generator;
 pub mod orders;
 pub mod travel;
 
-pub use generator::{GeneratedSystem, GeneratorParams};
+pub use generator::{GeneratedSystem, GeneratorParams, Plant, PlantedSystem};
 pub use travel::{travel_booking, travel_property, TravelVariant};

@@ -11,6 +11,7 @@
 //! - [`has_core`] — the verifier (the paper's primary contribution)
 //! - [`has_sim`] — concrete operational semantics and runtime monitoring
 //! - [`has_workloads`] — example systems and parametric generators
+//! - [`has_corpus`] — ground-truth seeded-violation corpus and differential fuzzing
 //!
 //! # Quick start
 //!
@@ -68,6 +69,7 @@
 pub use has_analysis as analysis;
 pub use has_arith as arith;
 pub use has_core as verifier;
+pub use has_corpus as corpus;
 pub use has_data as data;
 pub use has_ltl as ltl;
 pub use has_model as model;

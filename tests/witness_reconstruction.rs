@@ -1,10 +1,14 @@
 //! Hierarchical counterexample reconstruction (DESIGN.md §5.7): per-task
 //! witness trees, `ViolationKind::Returning` for violations carried by
-//! returned sub-calls, and the determinism of the chosen counterexample.
+//! returned sub-calls, the determinism of the chosen counterexample, and
+//! witness *replay* — executing the reconstructed tree step by step in the
+//! concrete simulator and re-judging it with the runtime monitor.
 
 use has::arith::Rational;
+use has::corpus::{replay_database, witness_script};
 use has::ltl::hltl::HltlBuilder;
 use has::model::{ArtifactSystem, Condition, ServiceRef, SetUpdate, SystemBuilder, TaskId};
+use has::sim::{monitor_property, replay_with_retries, ExecutionConfig};
 use has::verifier::{Verifier, VerifierConfig, ViolationKind};
 
 /// Root opens `Child` (whose sub-formula `F cflag=1` every child run
@@ -128,6 +132,70 @@ fn origin_descends_through_nested_returned_calls() {
     let rendered = violation.witness.as_ref().expect("tree").to_string();
     assert!(rendered.contains("└ task `Mid`"), "{rendered}");
     assert!(rendered.contains("└ task `Leaf`"), "{rendered}");
+}
+
+/// Lowers a reconstructed witness to a script, replays it in the concrete
+/// executor on a replay-friendly database, and asserts the resulting tree of
+/// runs *violates* the property under the runtime monitor — the symbolic
+/// counterexample corresponds to an executable concrete run.
+fn assert_witness_replays(
+    system: &ArtifactSystem,
+    property: &has::ltl::HltlFormula,
+    config: VerifierConfig,
+) {
+    let outcome = Verifier::with_config(system, property, config.with_witnesses(true)).verify();
+    assert!(!outcome.holds, "{outcome}");
+    let witness = outcome
+        .violation
+        .as_ref()
+        .and_then(|v| v.witness.as_ref())
+        .expect("witness tree");
+    let script = witness_script(system, witness, 2).expect("witness lowers to a script");
+    let db = replay_database(&system.schema.database);
+    let exec_config = ExecutionConfig {
+        seed: 1,
+        ..ExecutionConfig::default()
+    };
+    let tree = replay_with_retries(system, &db, &script, exec_config, 64)
+        .expect("witness replays step by step in the simulator");
+    assert!(
+        !monitor_property(system, &db, &tree, property),
+        "the replayed witness run must violate the property it witnesses"
+    );
+}
+
+/// The orders workload's violated safety property: its reconstructed witness
+/// replays as a concrete simulator run that the monitor rejects.
+#[test]
+fn orders_witness_replays_in_the_simulator() {
+    let o = has::workloads::orders::order_fulfilment();
+    let property = has::workloads::orders::never_enqueue_property(&o);
+    assert_witness_replays(&o.system, &property, VerifierConfig::default());
+}
+
+/// The buggy travel booking's violated liveness property (the EXP-W1
+/// walkthrough instance): its witness tree — prefix, pump cycle and nested
+/// child runs — replays end to end.
+#[test]
+fn travel_witness_replays_in_the_simulator() {
+    let t = has::workloads::travel::travel_booking(has::workloads::travel::TravelVariant::Buggy);
+    let property = has::workloads::travel::travel_liveness_property(&t);
+    let capped = VerifierConfig {
+        max_successors: 24,
+        max_control_states: 800,
+        km_node_cap: 4_000,
+        ..VerifierConfig::default()
+    };
+    assert_witness_replays(&t.system, &property, capped);
+}
+
+/// The returned-sub-call witness replays too: the replayed tree of runs has
+/// the child opened *and* closed, and the monitor attributes the violation
+/// exactly as the verifier did.
+#[test]
+fn returned_subcall_witness_replays_in_the_simulator() {
+    let (system, property, _) = returned_subcall_instance();
+    assert_witness_replays(&system, &property, VerifierConfig::default());
 }
 
 /// The witness choice is part of the determinism contract: the rendered
