@@ -21,6 +21,13 @@
 //!    [`dimension_cone`], applied by the verifier to each `(T, β, τ_in)`
 //!    coverability query.
 //!
+//! A fourth, per-query pass lives in [`presolve`]: sound static refutation
+//! filters (control skeleton, state-equation Z-relaxation,
+//! counter-abstraction DFA, lasso circulation) that the verifier runs before
+//! building any Karp–Miller graph, plus per-dimension boundedness
+//! certificates for the queries that survive. Its aggregated verdict counts
+//! render as `HAS111`–`HAS116` diagnostics.
+//!
 //! All findings flow through the [`Diagnostic`] type with stable `HASnnn`
 //! codes; structural [`has_model::ValidationError`]s join the same stream
 //! via `From` (`HAS001`–`HAS012`).
@@ -32,11 +39,15 @@ pub mod cone;
 pub mod dataflow;
 pub mod diagnostic;
 pub mod guards;
+pub mod presolve;
 
 pub use cone::{dimension_cone, DimensionCone};
 pub use dataflow::{dataflow_diagnostics, property_footprint, Dataflow, PropertyFootprint};
 pub use diagnostic::{Diagnostic, Severity};
 pub use guards::{guard_status, GuardStatus, ATOM_CAP};
+pub use presolve::{
+    presolve_diagnostics, presolve_query, PresolveStats, QueryPresolve, Refutation,
+};
 
 use has_ltl::HltlFormula;
 use has_model::{validate, ArtifactSystem, Condition, TaskId};

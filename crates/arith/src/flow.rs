@@ -1,0 +1,173 @@
+//! Relaxed flow programs over edge multiplicities.
+//!
+//! The pre-solver filters of `has-analysis` (DESIGN.md §5.11) relax a VASS
+//! reachability or lasso question to an exact LP over **edge multiplicities**:
+//! integrality is dropped, the non-negativity of intermediate counter values
+//! is dropped, and only the *Parikh image* of a run survives — how often each
+//! edge fires, constrained by flow balance at every node and by the
+//! accumulated counter effect. Infeasibility of the relaxation is a sound
+//! refutation of the original question; feasibility says nothing.
+//!
+//! [`FlowLp`] is the builder shared by those filters: register the edges of a
+//! labelled graph (one LP variable per edge, each carrying an integer effect
+//! vector), then impose path-shaped or circulation-shaped flow balance and
+//! constraints on the total accumulated effect. The builder is deliberately
+//! graph-agnostic — `has-vass` instantiates it with control states and action
+//! deltas, but nothing here knows about VASS.
+
+use crate::lp::{LpCmp, LpProblem};
+use crate::rational::Rational;
+
+/// Builder for state-equation / circulation LPs: one non-negative variable
+/// per registered edge, flow-balance rows per node, and rows over the total
+/// effect `Σ xₑ·effectₑ[d]` per effect dimension.
+#[derive(Clone, Debug)]
+pub struct FlowLp {
+    num_nodes: usize,
+    dim: usize,
+    /// Per edge: source node, target node.
+    endpoints: Vec<(usize, usize)>,
+    /// Per edge: integer effect vector of length `dim`.
+    effects: Vec<Vec<i64>>,
+}
+
+impl FlowLp {
+    /// Creates a builder over a graph with `num_nodes` nodes whose edges
+    /// carry effect vectors of length `dim`.
+    pub fn new(num_nodes: usize, dim: usize) -> Self {
+        FlowLp {
+            num_nodes,
+            dim,
+            endpoints: Vec::new(),
+            effects: Vec::new(),
+        }
+    }
+
+    /// Registers an edge `from → to` with the given effect vector and
+    /// returns its LP variable index.
+    ///
+    /// # Panics
+    /// Panics if an endpoint or the effect length is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, effect: &[i64]) -> usize {
+        assert!(from < self.num_nodes && to < self.num_nodes, "edge endpoint out of range");
+        assert_eq!(effect.len(), self.dim, "effect dimension mismatch");
+        self.endpoints.push((from, to));
+        self.effects.push(effect.to_vec());
+        self.endpoints.len() - 1
+    }
+
+    /// Number of registered edges (= LP variables).
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The coefficient row of the total effect in dimension `d`:
+    /// `Σ xₑ·effectₑ[d]`, with zero entries omitted.
+    pub fn effect_row(&self, d: usize) -> Vec<(usize, Rational)> {
+        assert!(d < self.dim, "effect dimension out of range");
+        self.effects
+            .iter()
+            .enumerate()
+            .filter(|(_, eff)| eff[d] != 0)
+            .map(|(e, eff)| (e, Rational::from_int(eff[d])))
+            .collect()
+    }
+
+    /// The state-equation program of a `source → sink` path: flow balance
+    /// `out(q) − in(q) = [q = source] − [q = sink]` at every node. With
+    /// `source == sink` this degenerates to the circulation program.
+    ///
+    /// A run from `source` to `sink` fires each edge a non-negative integer
+    /// number of times satisfying exactly these balances, so any integer run
+    /// is a feasible point — infeasibility refutes the existence of a run
+    /// (over ℤ-valued counters; callers add [`FlowLp::effect_row`]
+    /// constraints to bound the accumulated effect).
+    pub fn path_problem(&self, source: usize, sink: usize) -> LpProblem {
+        assert!(source < self.num_nodes && sink < self.num_nodes, "terminal out of range");
+        let mut lp = LpProblem::new(self.num_edges());
+        let mut rows: Vec<Vec<(usize, Rational)>> = vec![Vec::new(); self.num_nodes];
+        for (e, &(from, to)) in self.endpoints.iter().enumerate() {
+            if from == to {
+                continue; // self-loops cancel out of every balance row
+            }
+            rows[from].push((e, Rational::ONE));
+            rows[to].push((e, -Rational::ONE));
+        }
+        for (q, row) in rows.iter().enumerate() {
+            let mut rhs = Rational::ZERO;
+            if q == source {
+                rhs += Rational::ONE;
+            }
+            if q == sink {
+                rhs = rhs - Rational::ONE;
+            }
+            if row.is_empty() && rhs.is_zero() {
+                continue;
+            }
+            lp.add_constraint(row, LpCmp::Eq, rhs);
+        }
+        lp
+    }
+
+    /// The circulation program: flow conserved at every node. Any cycle —
+    /// in particular any pump cycle of a lasso — is a feasible point.
+    pub fn circulation_problem(&self) -> LpProblem {
+        // A circulation is a path from any node back to itself; with no
+        // nodes the program is empty (and trivially feasible).
+        if self.num_nodes == 0 {
+            return LpProblem::new(self.num_edges());
+        }
+        self.path_problem(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn path_balance_forces_the_chain() {
+        // 0 → 1 → 2 with unit effects; a 0→2 path must use both edges once.
+        let mut f = FlowLp::new(3, 1);
+        let a = f.add_edge(0, 1, &[1]);
+        let b = f.add_edge(1, 2, &[-1]);
+        let lp = f.path_problem(0, 2);
+        let p = lp.feasible_point().unwrap();
+        assert_eq!(p[a], r(1));
+        assert_eq!(p[b], r(1));
+    }
+
+    #[test]
+    fn unreachable_sink_is_infeasible() {
+        // No edge enters node 2: the path program has no solution.
+        let mut f = FlowLp::new(3, 0);
+        f.add_edge(0, 1, &[]);
+        assert!(!f.path_problem(0, 2).is_feasible());
+    }
+
+    #[test]
+    fn effect_rows_refute_unreachable_totals() {
+        // Single decrementing loop edge: total effect can never be ≥ +1.
+        let mut f = FlowLp::new(1, 1);
+        f.add_edge(0, 0, &[-1]);
+        let mut lp = f.path_problem(0, 0);
+        lp.add_constraint(&f.effect_row(0), LpCmp::Ge, r(1));
+        assert!(!lp.is_feasible());
+    }
+
+    #[test]
+    fn circulation_admits_the_two_cycle() {
+        let mut f = FlowLp::new(2, 1);
+        let up = f.add_edge(0, 1, &[1]);
+        let down = f.add_edge(1, 0, &[-1]);
+        let mut lp = f.circulation_problem();
+        lp.add_constraint(&[(up, r(1))], LpCmp::Ge, r(1));
+        let p = lp.feasible_point().unwrap();
+        assert_eq!(p[up], p[down]);
+        assert!(p[up] >= r(1));
+    }
+}

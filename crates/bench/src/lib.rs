@@ -4,8 +4,16 @@
 //! and the `tables` binary both go through [`measure`], which runs the
 //! verifier on a workload and extracts the cost measures the paper's
 //! complexity analysis talks about: wall time, symbolic control states,
-//! Karp–Miller coverability nodes, counter dimensions and HCD cells.
+//! Karp–Miller coverability nodes, counter dimensions, HCD cells, and the
+//! static-reduction counters (projection dimensions, dead guards, query
+//! pre-solver verdicts). [`BenchRecord`]/[`records_to_json`] turn the same
+//! rows into the tracked `BENCH_<tag>.json` documents CI commits for
+//! regression comparison.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use has_analysis::PresolveStats;
 use has_core::{Outcome, Verifier, VerifierConfig};
 use has_ltl::HltlFormula;
 use has_model::ArtifactSystem;
@@ -41,13 +49,16 @@ pub struct Measurement {
     pub counter_dims_after: usize,
     /// Service guards proven dead and pruned from graph construction.
     pub dead_services: usize,
+    /// Query pre-solver verdict counts (all zero when the pre-solver is
+    /// off).
+    pub presolve: PresolveStats,
 }
 
 impl Measurement {
     /// One formatted row for the `tables` binary.
     pub fn row(&self) -> String {
         format!(
-            "{:<42} {:>7} {:>4} {:>9} {:>9} {:>6} {:>9} {:>7} {:>9.1}",
+            "{:<42} {:>7} {:>4} {:>9} {:>9} {:>6} {:>9} {:>9} {:>7} {:>9.1}",
             self.label,
             if self.holds { "holds" } else { "viol." },
             self.threads,
@@ -55,6 +66,7 @@ impl Measurement {
             self.coverability_nodes,
             self.counter_dimensions,
             format!("{}->{}", self.counter_dims_before, self.counter_dims_after),
+            format!("{}/{}", self.presolve.decided, self.presolve.queries),
             self.hcd_cells,
             self.time.as_secs_f64() * 1000.0
         )
@@ -63,8 +75,17 @@ impl Measurement {
     /// The header matching [`Measurement::row`].
     pub fn header() -> String {
         format!(
-            "{:<42} {:>7} {:>4} {:>9} {:>9} {:>6} {:>9} {:>7} {:>9}",
-            "instance", "result", "thr", "states", "km-nodes", "dims", "proj", "cells", "time(ms)"
+            "{:<42} {:>7} {:>4} {:>9} {:>9} {:>6} {:>9} {:>9} {:>7} {:>9}",
+            "instance",
+            "result",
+            "thr",
+            "states",
+            "km-nodes",
+            "dims",
+            "proj",
+            "presolve",
+            "cells",
+            "time(ms)"
         )
     }
 }
@@ -106,6 +127,9 @@ pub struct BenchRecord {
     pub mismatches: Option<usize>,
     /// Runs excused as bounded by the exploration caps (fuzz rows only).
     pub bounded: Option<usize>,
+    /// Query pre-solver verdict counts (verifier rows only; omitted when
+    /// every counter is zero — e.g. the pre-solver was off).
+    pub presolve: Option<PresolveStats>,
 }
 
 impl BenchRecord {
@@ -124,6 +148,7 @@ impl BenchRecord {
             counter_dims_before: Some(m.counter_dims_before),
             counter_dims_after: Some(m.counter_dims_after),
             dead_services: Some(m.dead_services),
+            presolve: (m.presolve != PresolveStats::default()).then_some(m.presolve),
             ..BenchRecord::default()
         }
     }
@@ -172,6 +197,23 @@ impl BenchRecord {
         }
         if let Some(bounded) = self.bounded {
             let _ = write!(out, ",\"bounded\":{bounded}");
+        }
+        if let Some(p) = self.presolve {
+            let _ = write!(
+                out,
+                ",\"presolve_queries\":{},\"presolve_decided\":{},\
+                 \"presolve_control\":{},\"presolve_state_eq\":{},\
+                 \"presolve_dfa\":{},\"presolve_circulation\":{},\
+                 \"presolve_km_skipped\":{},\"presolve_bounded_dims\":{}",
+                p.queries,
+                p.decided,
+                p.control,
+                p.state_eq,
+                p.counter_dfa,
+                p.circulation,
+                p.skipped_builds,
+                p.bounded_dims
+            );
         }
         out.push('}');
         out
@@ -248,6 +290,7 @@ pub fn measure(
         counter_dims_before: outcome.stats.counter_dims_before,
         counter_dims_after: outcome.stats.counter_dims_after,
         dead_services: outcome.stats.dead_services_pruned,
+        presolve: outcome.stats.presolve,
     }
 }
 

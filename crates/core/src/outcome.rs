@@ -8,6 +8,7 @@
 //! originates. DESIGN.md §5.7 describes the reconstruction and how the
 //! chosen counterexample stays byte-identical at every thread count.
 
+use has_analysis::PresolveStats;
 use has_model::TaskId;
 use has_symbolic::{ProjectionKey, SymState};
 use std::fmt;
@@ -321,6 +322,10 @@ pub struct Stats {
     /// Service guards proven unsatisfiable and excluded from graph
     /// construction (0 when projection is off).
     pub dead_services_pruned: usize,
+    /// Query pre-solver verdict counts: sub-queries examined and statically
+    /// decided per filter, Karp–Miller builds skipped, dimensions certified
+    /// bounded (all zero when the pre-solver is off).
+    pub presolve: PresolveStats,
 }
 
 impl Stats {
@@ -350,6 +355,7 @@ impl Stats {
         self.counter_dims_before += other.counter_dims_before;
         self.counter_dims_after += other.counter_dims_after;
         self.dead_services_pruned += other.dead_services_pruned;
+        self.presolve.absorb(&other.presolve);
     }
 }
 
@@ -358,7 +364,7 @@ impl fmt::Display for Stats {
         write!(
             f,
             "states={} transitions={} km-nodes={} dims={} buchi={} (T,β)={} R_T={} cells={} \
-             proj={}->{} dead={}",
+             proj={}->{} dead={} presolve={}/{} km-skip={} bounded={}",
             self.control_states,
             self.transitions,
             self.coverability_nodes,
@@ -369,7 +375,11 @@ impl fmt::Display for Stats {
             self.hcd_cells,
             self.counter_dims_before,
             self.counter_dims_after,
-            self.dead_services_pruned
+            self.dead_services_pruned,
+            self.presolve.decided,
+            self.presolve.queries,
+            self.presolve.skipped_builds,
+            self.presolve.bounded_dims
         )
     }
 }

@@ -4,7 +4,7 @@
 use crate::compiled::CompiledBuchi;
 use crate::outcome::{Stats, WitnessStep};
 use crate::verifier::VerifierConfig;
-use has_analysis::{dimension_cone, DeadServiceMap};
+use has_analysis::{dimension_cone, presolve_query, DeadServiceMap, PresolveStats};
 use has_ltl::buchi::{Buchi, BuchiState};
 use has_ltl::hltl::TaskProp;
 use has_ltl::Ltl;
@@ -28,6 +28,9 @@ pub struct QueryCost {
     pub dims_before: usize,
     /// The dimension actually searched (the cone size).
     pub dims_after: usize,
+    /// Pre-solver verdict counts for this query's three Lemma 21
+    /// sub-queries (all zero when [`VerifierConfig::presolve`] is off).
+    pub presolve: PresolveStats,
 }
 
 /// The bottom-up store of completed task summaries the verifier threads
@@ -1126,6 +1129,7 @@ impl<'a> TaskVerifier<'a> {
             km_nodes: 0,
             dims_before: graph.vass.dim,
             dims_after: graph.vass.dim,
+            presolve: PresolveStats::default(),
         };
         let projected: Option<Vass> = if self.config.projection {
             let cone = dimension_cone(&graph.vass, init);
@@ -1135,9 +1139,58 @@ impl<'a> TaskVerifier<'a> {
             None
         };
         let vass = projected.as_ref().unwrap_or(&graph.vass);
-        let cover = CoverabilityGraph::build_capped(vass, init, self.config.km_node_cap);
         let mut candidates: Vec<RtEntry> = Vec::new();
         let finite_ok = |s: &CState| self.cbuchi.is_finite_accepting(s.q);
+
+        // Query pre-solver (DESIGN.md §5.11): static refutation filters over
+        // the (projected) VASS, run before any Karp–Miller construction. The
+        // three target sets below are exactly what the scans after the build
+        // look for, so a refuted sub-query's scan would find nothing — the
+        // capped build under-approximates coverability, which is why skipping
+        // refuted work is verdict- and witness-identical (only the cost
+        // statistics change).
+        let presolved = self.config.presolve.then(|| {
+            let mut returning = vec![false; states.len()];
+            let mut blocking = vec![false; states.len()];
+            let lasso: Vec<bool> = (0..states.len())
+                .map(|q| graph.accepting.contains(q))
+                .collect();
+            for (q, cs) in states.iter().enumerate() {
+                if !finite_ok(cs) {
+                    continue;
+                }
+                if cs.closed {
+                    returning[q] = true;
+                } else {
+                    blocking[q] = cs
+                        .children
+                        .iter()
+                        .any(|(_, c)| matches!(c, ChildStatus::Active { output: None }));
+                }
+            }
+            let pre = presolve_query(vass, init, &returning, &blocking, &lasso);
+            cost.presolve.record(&pre);
+            pre
+        });
+        if presolved.as_ref().is_some_and(|pre| pre.skip_build()) {
+            // All three sub-queries statically refuted: no entry can exist
+            // for this initial state, so no graph is built at all.
+            return (candidates, cost);
+        }
+        let bounded: &[bool] = presolved
+            .as_ref()
+            .map_or(&[], |pre| pre.bounded_dims.as_slice());
+        let cover = CoverabilityGraph::build_capped_with_bounds(
+            vass,
+            init,
+            self.config.km_node_cap,
+            bounded,
+        );
+        let skip = |refuted: Option<has_analysis::Refutation>| refuted.is_some();
+        let (skip_returning, skip_blocking, skip_lasso) = presolved.as_ref().map_or(
+            (false, false, false),
+            |pre| (skip(pre.returning), skip(pre.blocking), skip(pre.lasso)),
+        );
 
         // Witness retention: the run realization of a candidate is the label
         // sequence of its Karp–Miller path (actions and transitions share
@@ -1166,6 +1219,9 @@ impl<'a> TaskVerifier<'a> {
         // and return variables) — the paper's τ_out — which also keeps
         // the number of distinct R_T entries small.
         for (node_id, node) in cover.nodes().enumerate() {
+            if skip_returning {
+                break;
+            }
             let cs = &states[node.state];
             if cs.closed && finite_ok(cs) {
                 let projected =
@@ -1181,6 +1237,9 @@ impl<'a> TaskVerifier<'a> {
         }
         // Blocking paths: a child was opened with a never-returning run.
         for (node_id, node) in cover.nodes().enumerate() {
+            if skip_blocking {
+                break;
+            }
             let cs = &states[node.state];
             let blocking_child = cs
                 .children
@@ -1208,7 +1267,7 @@ impl<'a> TaskVerifier<'a> {
         // cycle, the Karp–Miller path to its start node labels the prefix;
         // a walk past the materialization cap truncates the rendering only,
         // never the decision.
-        if graph.accepting.any() {
+        if graph.accepting.any() && !skip_lasso {
             let accepting = |s: usize| graph.accepting.contains(s);
             let (lasso, details) = if retain {
                 match cover.nonneg_cycle_search_through_pred(
@@ -1281,6 +1340,7 @@ impl<'a> TaskVerifier<'a> {
             stats.coverability_nodes += cost.km_nodes;
             stats.counter_dims_before += cost.dims_before;
             stats.counter_dims_after += cost.dims_after;
+            stats.presolve.absorb(&cost.presolve);
             for e in candidates {
                 match entries.iter_mut().find(|kept| kept.same_tuple(&e)) {
                     Some(kept) => {

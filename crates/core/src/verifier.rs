@@ -78,6 +78,19 @@ pub struct VerifierConfig {
     /// `counter_dims_*`/`dead_services_pruned` statistics change. On by
     /// default; defaults to [`VerifierConfig::default_projection`].
     pub projection: bool,
+    /// Whether to run the query pre-solver before each Lemma 21 query
+    /// (DESIGN.md §5.11): sound static refutation filters — control
+    /// skeleton, state-equation Z-relaxation, counter-abstraction DFA,
+    /// lasso circulation — decide sub-queries without building a
+    /// Karp–Miller graph, and per-dimension boundedness certificates prune
+    /// ω-acceleration work for the queries that survive. Every filter
+    /// refutes only genuinely empty sub-queries and the capped build
+    /// under-approximates the search, so verdicts, entry lists and
+    /// witnesses are identical with and without the pre-solver
+    /// (`tests/presolve_equivalence.rs` enforces it) — only
+    /// `coverability_nodes` and the `presolve` statistics change. On by
+    /// default; defaults to [`VerifierConfig::default_presolve`].
+    pub presolve: bool,
 }
 
 impl Default for VerifierConfig {
@@ -93,6 +106,7 @@ impl Default for VerifierConfig {
             threads: Self::default_threads(),
             witnesses: false,
             projection: Self::default_projection(),
+            presolve: Self::default_presolve(),
         }
     }
 }
@@ -127,6 +141,19 @@ impl VerifierConfig {
         }
     }
 
+    /// The default pre-solver switch: *on*, unless the `HAS_PRESOLVE`
+    /// environment variable is set to `0`, `off` or `false` (the opt-out
+    /// exists for A/B benchmarking — see EXPERIMENTS.md).
+    pub fn default_presolve() -> bool {
+        match std::env::var("HAS_PRESOLVE") {
+            Ok(value) => !matches!(
+                value.trim().to_ascii_lowercase().as_str(),
+                "0" | "off" | "false"
+            ),
+            Err(_) => true,
+        }
+    }
+
     /// Returns this configuration with the given worker count.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -147,6 +174,14 @@ impl VerifierConfig {
     #[must_use]
     pub fn with_projection(mut self, projection: bool) -> Self {
         self.projection = projection;
+        self
+    }
+
+    /// Returns this configuration with the query pre-solver switched on or
+    /// off (see [`VerifierConfig::presolve`]).
+    #[must_use]
+    pub fn with_presolve(mut self, presolve: bool) -> Self {
+        self.presolve = presolve;
         self
     }
 }

@@ -1,9 +1,9 @@
 //! The differential fuzzing driver.
 //!
 //! [`fuzz`] samples a seeded corpus, runs every instance through the full
-//! configuration matrix (threads ∈ {1, 4} × projection on/off × witnesses
-//! on/off), and cross-checks each outcome against the instance's
-//! [`Certificate`]:
+//! configuration matrix (threads ∈ {1, 4} × projection on/off × presolve
+//! on/off × witnesses on/off), and cross-checks each outcome against the
+//! instance's [`Certificate`]:
 //!
 //! * **verdict** — clean instances must verify; planted instances must be
 //!   reported violated (a missed plant is excused only when the exploration
@@ -35,6 +35,8 @@ pub struct ConfigPoint {
     pub threads: usize,
     /// Cone-of-influence query projection.
     pub projection: bool,
+    /// The query pre-solver (static refutation filters).
+    pub presolve: bool,
     /// Witness reconstruction.
     pub witnesses: bool,
 }
@@ -43,25 +45,29 @@ impl fmt::Display for ConfigPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "threads={} projection={} witnesses={}",
+            "threads={} projection={} presolve={} witnesses={}",
             self.threads,
             if self.projection { "on" } else { "off" },
+            if self.presolve { "on" } else { "off" },
             if self.witnesses { "on" } else { "off" }
         )
     }
 }
 
-/// The full matrix: threads ∈ {1, 4} × projection × witnesses.
+/// The full matrix: threads ∈ {1, 4} × projection × presolve × witnesses.
 pub fn config_matrix() -> Vec<ConfigPoint> {
     let mut out = Vec::new();
     for threads in [1usize, 4] {
         for projection in [true, false] {
-            for witnesses in [false, true] {
-                out.push(ConfigPoint {
-                    threads,
-                    projection,
-                    witnesses,
-                });
+            for presolve in [true, false] {
+                for witnesses in [false, true] {
+                    out.push(ConfigPoint {
+                        threads,
+                        projection,
+                        presolve,
+                        witnesses,
+                    });
+                }
             }
         }
     }
@@ -328,6 +334,7 @@ fn check_at(
         .clone()
         .with_threads(at.threads)
         .with_projection(at.projection)
+        .with_presolve(at.presolve)
         .with_witnesses(at.witnesses);
     let outcome = Verifier::with_config(&inst.system, &inst.property, config.clone()).verify();
     check_outcome(inst, &outcome, at, &config, opts, replays)
@@ -399,7 +406,7 @@ mod tests {
         };
         let report = fuzz(&opts);
         assert_eq!(report.instances, 6);
-        assert_eq!(report.runs, 6 * 8);
+        assert_eq!(report.runs, 6 * 16);
         assert!(
             report.sound(),
             "mismatches: {:#?}",
@@ -433,6 +440,7 @@ mod tests {
         let at = ConfigPoint {
             threads: 1,
             projection: true,
+            presolve: true,
             witnesses: false,
         };
         let verdict = check_at(&inst, at, &opts, &mut replays);
