@@ -117,18 +117,41 @@ impl DimensionCone {
 /// Computes the dimension cone of influence for the query starting at
 /// `init` — see the module docs for the fixpoint and its exactness.
 pub fn dimension_cone(vass: &Vass, init: usize) -> DimensionCone {
+    dimension_cone_multi(vass, &[init])
+}
+
+/// The union dimension cone over several start states at once — the cone
+/// the shared Karp–Miller arena (DESIGN.md §5.12) projects with, so every
+/// `τ_in` query of one `(T, β)` pair runs on the *same* projected VASS and
+/// interned markings stay comparable across queries.
+///
+/// The fixpoint is the single-init one with reachability seeded from all of
+/// `inits`, and it stays **exact for each individual init**: union
+/// reachability only grows the reachable-live action set, so "dimension
+/// never incremented by a reachable live action" (rule 1) still proves the
+/// decrementing action unfireable from every listed init, and a dimension
+/// dropped by rule 2 is decremented by no action reachable from any of
+/// them. The result is merely more conservative (fewer disables, more kept
+/// dimensions) than each per-init cone.
+pub fn dimension_cone_multi(vass: &Vass, inits: &[usize]) -> DimensionCone {
     let dim = vass.dim;
     let n_actions = vass.actions.len();
     let adjacency = vass.adjacency();
     let mut alive = vec![true; n_actions];
     let mut disabled = vec![false; n_actions];
-    let mut reach = vec![false; vass.states.max(init + 1)];
+    let max_init = inits.iter().copied().max().map_or(0, |m| m + 1);
+    let mut reach = vec![false; vass.states.max(max_init)];
 
     loop {
-        // Control-graph reachability from `init` over live actions.
+        // Control-graph reachability from the inits over live actions.
         reach.iter_mut().for_each(|r| *r = false);
-        reach[init] = true;
-        let mut queue: VecDeque<usize> = VecDeque::from([init]);
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &init in inits {
+            if !reach[init] {
+                reach[init] = true;
+                queue.push_back(init);
+            }
+        }
         while let Some(s) = queue.pop_front() {
             for &a in &adjacency[s] {
                 if alive[a] && !reach[vass.actions[a].to] {

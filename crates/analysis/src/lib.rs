@@ -41,7 +41,7 @@ pub mod diagnostic;
 pub mod guards;
 pub mod presolve;
 
-pub use cone::{dimension_cone, DimensionCone};
+pub use cone::{dimension_cone, dimension_cone_multi, DimensionCone};
 pub use dataflow::{dataflow_diagnostics, property_footprint, Dataflow, PropertyFootprint};
 pub use diagnostic::{Diagnostic, Severity};
 pub use guards::{guard_status, GuardStatus, ATOM_CAP};

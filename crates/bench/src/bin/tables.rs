@@ -267,10 +267,12 @@ fn exp_witness(rec: &mut Recorder) {
     let label = "travel-booking/Buggy vs F(status=PAID)";
     record(rec, label, &outcome, start.elapsed().as_secs_f64() * 1000.0);
     print_witness(label, &outcome);
-    // The Appendix A.2 policy: its violation search exhausts the bounded
-    // coverability budget (the root's 12 counter dimensions), so this line
-    // reads `HOLDS` — a *bounded* search result, kept here deliberately so
-    // the walkthrough can show what an exhausted budget looks like.
+    // The Appendix A.2 policy at the deliberately tight `fast_config` caps:
+    // this line reads `HOLDS` — a *bounded* search result, kept in the
+    // walkthrough to show what an exhausted budget looks like. The violation
+    // itself is no longer out of reach: EXP-S1 and `tests/a2_violation.rs`
+    // find it within the default search budgets once `max_merge_pairs` is
+    // raised to the branching depth the configuration needs.
     let property = travel_property(&t);
     let start = Instant::now();
     let outcome = Verifier::with_config(
@@ -596,12 +598,68 @@ fn exp_presolve(rec: &mut Recorder) {
     println!();
 }
 
+/// EXP-S1 — the shared incremental Karp–Miller arena (DESIGN.md §5.12):
+/// the Appendix A.2 policy on both travel variants at the EXP-A2/R2 fixed
+/// budgets, with `max_merge_pairs` raised to 12 so the refinement actually
+/// generates the violating `Cancel` configuration (see
+/// `tests/a2_violation.rs`), measured with the arena off and on. The
+/// verdicts must agree; the `reuse/subsume` column shows where the shared
+/// engine's km-node reduction comes from, and the printed factor is the
+/// off/on node pair EXPERIMENTS.md quotes.
+fn exp_shared(rec: &mut Recorder) {
+    println!("== EXP-S1: shared Karp-Miller arena off/on — travel A.2 ==");
+    println!("{}", Measurement::header());
+    for variant in [TravelVariant::Buggy, TravelVariant::Fixed] {
+        let t = travel_booking(variant);
+        let property = travel_property(&t);
+        let mut nodes = [0usize; 2];
+        let mut verdicts = [true; 2];
+        for (i, shared) in [false, true].into_iter().enumerate() {
+            let config = VerifierConfig {
+                max_successors: 48,
+                max_control_states: 20_000,
+                km_node_cap: 50_000,
+                max_merge_pairs: 12,
+                threads: 1,
+                ..VerifierConfig::default()
+            }
+            .with_shared_km(shared);
+            let row = measure(
+                &format!(
+                    "travel-A.2/{variant:?}/shared={}",
+                    if shared { "on" } else { "off" }
+                ),
+                &t.system,
+                &property,
+                config,
+            );
+            nodes[i] = row.coverability_nodes;
+            verdicts[i] = row.holds;
+            rec.measurement("shared", &row);
+            println!("{}", row.row());
+        }
+        if verdicts[0] != verdicts[1] {
+            eprintln!("error: shared and unshared engines disagree on travel/{variant:?}");
+            std::process::exit(1);
+        }
+        if nodes[1] > 0 {
+            println!(
+                "km-node reduction factor ({variant:?}): {:.2}x ({} -> {})",
+                nodes[0] as f64 / nodes[1] as f64,
+                nodes[0],
+                nodes[1]
+            );
+        }
+    }
+    println!();
+}
+
 /// EXP-C1/C2 — differential fuzzing of the verifier against the seeded
 /// ground-truth corpus (DESIGN.md §5.10): every sampled instance carries a
 /// certificate (clean by construction, or exactly one planted violation with
 /// its kind and originating task), and every instance runs through the full
-/// configuration matrix — threads × projection × presolve × witnesses —
-/// with each
+/// configuration matrix — threads × projection × presolve × witnesses ×
+/// shared Karp–Miller — with each
 /// reconstructed witness tree replayed through the `has-sim` executor and
 /// judged by the runtime monitor. Prints the per-certificate-kind scoreboard
 /// and exits with status 1 on any soundness mismatch — which is how CI
@@ -609,10 +667,10 @@ fn exp_presolve(rec: &mut Recorder) {
 /// smoke batch (EXP-C1) to the deep sweep (EXP-C2, ≥1,000 instances).
 fn exp_fuzz(rec: &mut Recorder) {
     let deep = std::env::var("HAS_FUZZ_DEEP").map(|v| v == "1").unwrap_or(false);
-    // The presolve axis doubled the matrix to 16 points, so the smoke batch
-    // drops to 12 instances (two full plant rotations, so every certificate
-    // kind is still scored evenly) to stay well within CI's `timeout 120`
-    // (~7s release on a single core); the deep sweep covers the acceptance
+    // The sharing axis doubled the matrix to 32 points, so the smoke batch
+    // stays at 12 instances (two full plant rotations, so every certificate
+    // kind is still scored evenly) to remain within CI's `timeout 120`
+    // (~15s release on a single core); the deep sweep covers the acceptance
     // bar of ≥1,000 instances.
     let opts = FuzzOptions {
         count: if deep { 1200 } else { 12 },
@@ -707,6 +765,7 @@ const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("analyze", exp_analyze),
     ("projection", exp_projection),
     ("presolve", exp_presolve),
+    ("shared", exp_shared),
     ("fuzz", exp_fuzz),
 ];
 

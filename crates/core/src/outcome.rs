@@ -326,6 +326,14 @@ pub struct Stats {
     /// decided per filter, Karp–Miller builds skipped, dimensions certified
     /// bounded (all zero when the pre-solver is off).
     pub presolve: PresolveStats,
+    /// Karp–Miller nodes served from the shared per-`(T, β)` arena instead
+    /// of being recomputed (0 when [`crate::VerifierConfig::shared_km`] is
+    /// off — DESIGN.md §5.12).
+    pub km_reused: usize,
+    /// Karp–Miller successors pruned by the shared arena's per-query
+    /// antichain — covered on arrival or retro-pruned by a larger marking
+    /// (0 when sharing is off).
+    pub km_subsumed: usize,
 }
 
 impl Stats {
@@ -356,6 +364,8 @@ impl Stats {
         self.counter_dims_after += other.counter_dims_after;
         self.dead_services_pruned += other.dead_services_pruned;
         self.presolve.absorb(&other.presolve);
+        self.km_reused += other.km_reused;
+        self.km_subsumed += other.km_subsumed;
     }
 }
 
@@ -364,7 +374,7 @@ impl fmt::Display for Stats {
         write!(
             f,
             "states={} transitions={} km-nodes={} dims={} buchi={} (T,β)={} R_T={} cells={} \
-             proj={}->{} dead={} presolve={}/{} km-skip={} bounded={}",
+             proj={}->{} dead={} presolve={}/{} km-skip={} bounded={} km-reuse={} km-subsume={}",
             self.control_states,
             self.transitions,
             self.coverability_nodes,
@@ -379,7 +389,9 @@ impl fmt::Display for Stats {
             self.presolve.decided,
             self.presolve.queries,
             self.presolve.skipped_builds,
-            self.presolve.bounded_dims
+            self.presolve.bounded_dims,
+            self.km_reused,
+            self.km_subsumed
         )
     }
 }

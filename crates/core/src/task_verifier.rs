@@ -4,7 +4,9 @@
 use crate::compiled::CompiledBuchi;
 use crate::outcome::{Stats, WitnessStep};
 use crate::verifier::VerifierConfig;
-use has_analysis::{dimension_cone, presolve_query, DeadServiceMap, PresolveStats};
+use has_analysis::{
+    dimension_cone, dimension_cone_multi, presolve_query, DeadServiceMap, PresolveStats,
+};
 use has_ltl::buchi::{Buchi, BuchiState};
 use has_ltl::hltl::TaskProp;
 use has_ltl::Ltl;
@@ -12,7 +14,9 @@ use has_model::{
     ArtifactSystem, Condition, ServiceRef, TaskId, VarId, VarSort,
 };
 use has_symbolic::{transfer_pattern, ProjectionKey, SymState, TaskContext};
-use has_vass::{BitSet, CoverabilityGraph, CycleSearch, FxHashMap, Interner, Vass};
+use has_vass::{
+    BitSet, CoverabilityGraph, CycleSearch, FxHashMap, Interner, SharedCoverability, Vass,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
@@ -31,6 +35,12 @@ pub struct QueryCost {
     /// Pre-solver verdict counts for this query's three Lemma 21
     /// sub-queries (all zero when [`VerifierConfig::presolve`] is off).
     pub presolve: PresolveStats,
+    /// Karp–Miller nodes served from the shared per-`(T, β)` arena instead
+    /// of being recomputed (0 when [`VerifierConfig::shared_km`] is off).
+    pub km_reused: usize,
+    /// Karp–Miller successors pruned by the shared arena's antichain (0
+    /// when sharing is off).
+    pub km_subsumed: usize,
 }
 
 /// The bottom-up store of completed task summaries the verifier threads
@@ -773,9 +783,16 @@ impl<'a> TaskVerifier<'a> {
     /// [`TaskVerifier::reduce_queries`].
     pub fn explore(&self) -> (Vec<RtEntry>, Stats) {
         let graph = self.build_graph();
-        let per_init: Vec<(Vec<RtEntry>, QueryCost)> = (0..graph.initial_count())
-            .map(|pos| self.init_queries(&graph, pos))
-            .collect();
+        let per_init: Vec<(Vec<RtEntry>, QueryCost)> = if self.config.shared_km {
+            let mut shared = self.prepare_shared(&graph);
+            (0..graph.initial_count())
+                .map(|pos| self.init_queries_shared(&graph, pos, &mut shared))
+                .collect()
+        } else {
+            (0..graph.initial_count())
+                .map(|pos| self.init_queries(&graph, pos))
+                .collect()
+        };
         Self::reduce_queries(&graph, per_init)
     }
 
@@ -1126,10 +1143,9 @@ impl<'a> TaskVerifier<'a> {
         let states = &graph.states;
         let input_key = graph.input_keys[states[init].input_index].clone();
         let mut cost = QueryCost {
-            km_nodes: 0,
             dims_before: graph.vass.dim,
             dims_after: graph.vass.dim,
-            presolve: PresolveStats::default(),
+            ..QueryCost::default()
         };
         let projected: Option<Vass> = if self.config.projection {
             let cone = dimension_cone(&graph.vass, init);
@@ -1316,6 +1332,269 @@ impl<'a> TaskVerifier<'a> {
         (candidates, cost)
     }
 
+    /// Builds the shared query state of one `(T, β)` pair for
+    /// [`VerifierConfig::shared_km`] mode (DESIGN.md §5.12): the pair-level
+    /// projected VASS every `τ_in` query runs on — the *union* dimension
+    /// cone over all of the pair's initial states, so interned markings
+    /// stay comparable across queries — and the incremental
+    /// [`SharedCoverability`] arena those queries extend in initial-state
+    /// order.
+    pub fn prepare_shared(&self, graph: &ExploredGraph) -> PairShared {
+        let (vass, dims_after) = if self.config.projection {
+            let cone = dimension_cone_multi(&graph.vass, &graph.initial_states);
+            (
+                (!cone.is_trivial()).then(|| cone.project(&graph.vass)),
+                cone.dims_after(),
+            )
+        } else {
+            (None, graph.vass.dim)
+        };
+        let arena = SharedCoverability::new(vass.as_ref().unwrap_or(&graph.vass));
+        PairShared { vass, dims_after, arena }
+    }
+
+    /// The shared-arena counterpart of [`TaskVerifier::init_queries`]: one
+    /// `(T, β, τ_in)` Lemma 21 query extending the pair's incremental
+    /// arena instead of building a Karp–Miller graph from scratch. Callers
+    /// **must** invoke it in initial-state order on one [`PairShared`] —
+    /// the arena's evolution is part of the determinism contract.
+    ///
+    /// The returning and blocking scans run over the query's visit order
+    /// (every visited control state is genuinely coverable — arrival
+    /// pruning only skips markings covered by an already-visited one, and
+    /// saturation preserves the coverable state *set*, so the candidate
+    /// entry set matches the from-scratch scan's). The lasso decision is
+    /// tiered: a non-negative cycle over *real* edges is sound evidence;
+    /// failing that, no cycle over the jump-augmented edge relation
+    /// refutes the lasso outright; in the remaining gap — a cycle that
+    /// exists only through unjustified jump targets — one from-scratch
+    /// build (counted into `km_nodes`) decides exactly as unshared mode
+    /// would.
+    pub fn init_queries_shared(
+        &self,
+        graph: &ExploredGraph,
+        pos: usize,
+        shared: &mut PairShared,
+    ) -> (Vec<RtEntry>, QueryCost) {
+        let init = graph.initial_states[pos];
+        let states = &graph.states;
+        let input_key = graph.input_keys[states[init].input_index].clone();
+        let mut cost = QueryCost {
+            dims_before: graph.vass.dim,
+            dims_after: shared.dims_after,
+            ..QueryCost::default()
+        };
+        let vass = shared.vass.as_ref().unwrap_or(&graph.vass);
+        let mut candidates: Vec<RtEntry> = Vec::new();
+        let finite_ok = |s: &CState| self.cbuchi.is_finite_accepting(s.q);
+
+        // The pre-solver runs per initial state on the pair-level VASS —
+        // same filters as unshared mode, only the projection differs (the
+        // union cone instead of the per-init cone).
+        let presolved = self.config.presolve.then(|| {
+            let mut returning = vec![false; states.len()];
+            let mut blocking = vec![false; states.len()];
+            let lasso: Vec<bool> = (0..states.len())
+                .map(|q| graph.accepting.contains(q))
+                .collect();
+            for (q, cs) in states.iter().enumerate() {
+                if !finite_ok(cs) {
+                    continue;
+                }
+                if cs.closed {
+                    returning[q] = true;
+                } else {
+                    blocking[q] = cs
+                        .children
+                        .iter()
+                        .any(|(_, c)| matches!(c, ChildStatus::Active { output: None }));
+                }
+            }
+            let pre = presolve_query(vass, init, &returning, &blocking, &lasso);
+            cost.presolve.record(&pre);
+            pre
+        });
+        if presolved.as_ref().is_some_and(|pre| pre.skip_build()) {
+            return (candidates, cost);
+        }
+        let bounded: &[bool] = presolved
+            .as_ref()
+            .map_or(&[], |pre| pre.bounded_dims.as_slice());
+        // Boundedness certificates become *standing* constraints: fresh
+        // arena expansions skip ω-acceleration of certified dimensions for
+        // this and every later query of the pair (certificates come from
+        // the same pair-level VASS every time, so they compose).
+        let run = shared
+            .arena
+            .query(vass, init, self.config.km_node_cap, bounded);
+        let skip = |refuted: Option<has_analysis::Refutation>| refuted.is_some();
+        let (skip_returning, skip_blocking, skip_lasso) = presolved.as_ref().map_or(
+            (false, false, false),
+            |pre| (skip(pre.returning), skip(pre.blocking), skip(pre.lasso)),
+        );
+
+        let retain = self.config.witnesses;
+        let steps_to = |vidx: usize| -> Vec<WitnessStep> {
+            run.path_to_node(vidx)
+                .into_iter()
+                .map(|action| graph.labels[action].clone())
+                .collect()
+        };
+        let point_details = |vidx: usize| -> Option<Arc<EntryDetails>> {
+            retain.then(|| {
+                Arc::new(EntryDetails {
+                    prefix: steps_to(vidx),
+                    cycle: Vec::new(),
+                    cycle_truncated: false,
+                })
+            })
+        };
+
+        // Returning paths, over the visit order.
+        for (vidx, state) in run.states().enumerate() {
+            if skip_returning {
+                break;
+            }
+            let cs = &states[state];
+            if cs.closed && finite_ok(cs) {
+                let projected =
+                    self.project_output(&graph.syms[cs.sym as usize], &graph.out_vars);
+                candidates.push(RtEntry {
+                    input_key: input_key.clone(),
+                    output: Some(projected),
+                    beta: self.beta.clone(),
+                    witness: NonReturningWitness::default(),
+                    details: point_details(vidx),
+                });
+            }
+        }
+        // Blocking paths.
+        for (vidx, state) in run.states().enumerate() {
+            if skip_blocking {
+                break;
+            }
+            let cs = &states[state];
+            let blocking_child = cs
+                .children
+                .iter()
+                .any(|(_, c)| matches!(c, ChildStatus::Active { output: None }));
+            if !cs.closed && blocking_child && finite_ok(cs) {
+                candidates.push(RtEntry {
+                    input_key: input_key.clone(),
+                    output: None,
+                    beta: self.beta.clone(),
+                    witness: NonReturningWitness {
+                        blocking: true,
+                        lasso: false,
+                    },
+                    details: point_details(vidx),
+                });
+                break;
+            }
+        }
+        // Lasso paths — the tiered decision described above.
+        if graph.accepting.any() && !skip_lasso {
+            let accepting = |s: usize| graph.accepting.contains(s);
+            let (mut lasso, mut details) = if retain {
+                match run.nonneg_cycle_search_through_pred(
+                    vass,
+                    &accepting,
+                    WITNESS_CYCLE_CAP,
+                ) {
+                    CycleSearch::None => (false, None),
+                    CycleSearch::Witness(walk) => (
+                        true,
+                        Some(Arc::new(EntryDetails {
+                            prefix: steps_to(walk[0].0),
+                            cycle: walk
+                                .iter()
+                                .map(|&(_, action, _)| graph.labels[action].clone())
+                                .collect(),
+                            cycle_truncated: false,
+                        })),
+                    ),
+                    CycleSearch::ExceedsCap => (
+                        true,
+                        Some(Arc::new(EntryDetails {
+                            prefix: Vec::new(),
+                            cycle: Vec::new(),
+                            cycle_truncated: true,
+                        })),
+                    ),
+                }
+            } else {
+                (run.nonneg_cycle_through_pred(vass, &accepting), None)
+            };
+            if !lasso && run.augmented_nonneg_cycle_through_pred(vass, &accepting) {
+                // Ambiguous: a cycle exists only through jump edges, whose
+                // targets over-approximate. One from-scratch build decides;
+                // its nodes are charged to this query's cost.
+                let cover = CoverabilityGraph::build_capped_with_bounds(
+                    vass,
+                    init,
+                    self.config.km_node_cap,
+                    bounded,
+                );
+                cost.km_nodes += cover.node_count();
+                let fallback_steps = |node: usize| -> Vec<WitnessStep> {
+                    cover
+                        .path_to_node(node)
+                        .into_iter()
+                        .map(|action| graph.labels[action].clone())
+                        .collect()
+                };
+                let (l, d) = if retain {
+                    match cover.nonneg_cycle_search_through_pred(
+                        vass,
+                        &accepting,
+                        WITNESS_CYCLE_CAP,
+                    ) {
+                        CycleSearch::None => (false, None),
+                        CycleSearch::Witness(walk) => (
+                            true,
+                            Some(Arc::new(EntryDetails {
+                                prefix: fallback_steps(walk[0].0),
+                                cycle: walk
+                                    .iter()
+                                    .map(|&(_, action, _)| graph.labels[action].clone())
+                                    .collect(),
+                                cycle_truncated: false,
+                            })),
+                        ),
+                        CycleSearch::ExceedsCap => (
+                            true,
+                            Some(Arc::new(EntryDetails {
+                                prefix: Vec::new(),
+                                cycle: Vec::new(),
+                                cycle_truncated: true,
+                            })),
+                        ),
+                    }
+                } else {
+                    (cover.nonneg_cycle_through_pred(vass, &accepting), None)
+                };
+                lasso = l;
+                details = d;
+            }
+            if lasso {
+                candidates.push(RtEntry {
+                    input_key,
+                    output: None,
+                    beta: self.beta.clone(),
+                    witness: NonReturningWitness {
+                        blocking: false,
+                        lasso: true,
+                    },
+                    details,
+                });
+            }
+        }
+        cost.km_nodes += run.node_count();
+        cost.km_reused = run.reused;
+        cost.km_subsumed = run.subsumed;
+        (candidates, cost)
+    }
+
     /// Combines per-initial-state query results — which **must** be supplied
     /// in initial-state order — into the `(T, β)` pair's final entry list and
     /// statistics, deduplicating candidates exactly as the sequential
@@ -1341,6 +1620,8 @@ impl<'a> TaskVerifier<'a> {
             stats.counter_dims_before += cost.dims_before;
             stats.counter_dims_after += cost.dims_after;
             stats.presolve.absorb(&cost.presolve);
+            stats.km_reused += cost.km_reused;
+            stats.km_subsumed += cost.km_subsumed;
             for e in candidates {
                 match entries.iter_mut().find(|kept| kept.same_tuple(&e)) {
                     Some(kept) => {
@@ -1390,4 +1671,21 @@ impl ExploredGraph {
     pub fn initial_count(&self) -> usize {
         self.initial_states.len()
     }
+}
+
+/// The shared query state of one `(T, β)` pair in
+/// [`VerifierConfig::shared_km`] mode (DESIGN.md §5.12), produced by
+/// [`TaskVerifier::prepare_shared`] and threaded mutably through the
+/// pair's [`TaskVerifier::init_queries_shared`] calls in initial-state
+/// order.
+pub struct PairShared {
+    /// The union-cone-projected pair VASS (`None` when projection is off
+    /// or the cone is trivial: queries run on the unprojected
+    /// [`ExploredGraph::vass`] directly).
+    vass: Option<Vass>,
+    /// The union cone's dimension count (the `dims_after` every query of
+    /// the pair reports).
+    dims_after: usize,
+    /// The incremental coverability arena all queries extend.
+    arena: SharedCoverability,
 }

@@ -5,7 +5,7 @@ use crate::outcome::{Outcome, Stats, Violation, ViolationKind, WitnessNode, Witn
 use crate::parallel::{run_pool, WorkerHandle};
 use crate::property::PropertyContext;
 use crate::task_verifier::{
-    ExploredGraph, QueryCost, RtEntry, SummaryMap, TaskSummary, TaskVerifier,
+    ExploredGraph, PairShared, QueryCost, RtEntry, SummaryMap, TaskSummary, TaskVerifier,
 };
 use has_analysis::{DeadServiceMap, DeadServices};
 use has_arith::{HcdBuilder, LinExpr};
@@ -91,6 +91,21 @@ pub struct VerifierConfig {
     /// `coverability_nodes` and the `presolve` statistics change. On by
     /// default; defaults to [`VerifierConfig::default_presolve`].
     pub presolve: bool,
+    /// Whether the Lemma 21 queries of one `(T, β)` pair share an
+    /// incremental Karp–Miller arena with antichain subsumption pruning
+    /// (DESIGN.md §5.12) instead of each building a coverability graph from
+    /// scratch. Sharing groups the pair's per-initial-state queries into
+    /// one sequential chain (they extend the same arena in initial-state
+    /// order — across pairs the engine still fans out), reuses interned
+    /// nodes, stored successor lists and ω-accelerations across the chain,
+    /// and prunes any marking covered by an already-visited one. Verdicts
+    /// and witness *kinds* are those of the exact search on uncapped
+    /// instances; under a node cap the pruned search reaches much deeper —
+    /// this is what makes the Appendix A.2 violation findable
+    /// (`tests/a2_violation.rs`). Outcome, witnesses and statistics remain
+    /// byte-identical at every thread count. On by default; defaults to
+    /// [`VerifierConfig::default_shared_km`].
+    pub shared_km: bool,
 }
 
 impl Default for VerifierConfig {
@@ -107,6 +122,7 @@ impl Default for VerifierConfig {
             witnesses: false,
             projection: Self::default_projection(),
             presolve: Self::default_presolve(),
+            shared_km: Self::default_shared_km(),
         }
     }
 }
@@ -154,6 +170,20 @@ impl VerifierConfig {
         }
     }
 
+    /// The default shared-arena switch: *on*, unless the `HAS_SHARED_KM`
+    /// environment variable is set to `0`, `off` or `false` (the opt-out
+    /// exists for A/B benchmarking and the differential-fuzz sharing axis —
+    /// see EXPERIMENTS.md).
+    pub fn default_shared_km() -> bool {
+        match std::env::var("HAS_SHARED_KM") {
+            Ok(value) => !matches!(
+                value.trim().to_ascii_lowercase().as_str(),
+                "0" | "off" | "false"
+            ),
+            Err(_) => true,
+        }
+    }
+
     /// Returns this configuration with the given worker count.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -182,6 +212,14 @@ impl VerifierConfig {
     #[must_use]
     pub fn with_presolve(mut self, presolve: bool) -> Self {
         self.presolve = presolve;
+        self
+    }
+
+    /// Returns this configuration with the shared incremental Karp–Miller
+    /// arena switched on or off (see [`VerifierConfig::shared_km`]).
+    #[must_use]
+    pub fn with_shared_km(mut self, shared_km: bool) -> Self {
+        self.shared_km = shared_km;
         self
     }
 }
@@ -567,9 +605,16 @@ impl<'a> Verifier<'a> {
             total: usize,
             returning: usize,
         }
-        // Ordered-reduction buffer of one (T, β) pair.
+        // Ordered-reduction buffer of one (T, β) pair. In shared-arena mode
+        // (`shared_km`) the pair additionally owns its [`PairShared`] state:
+        // exactly one query job of the pair is in flight at a time (each
+        // pushes its successor), so the job *takes* the state out of the
+        // mutex, extends the arena unlocked, and puts it back — queries of
+        // one pair form a sequential chain while distinct pairs still fan
+        // out across workers.
         struct PairState<'a> {
             runtime: Option<Arc<PairRuntime<'a>>>,
+            shared: Option<PairShared>,
             results: Vec<Option<(Vec<RtEntry>, QueryCost)>>,
             remaining: usize,
             reduced: Option<ReducedPair>,
@@ -579,6 +624,7 @@ impl<'a> Verifier<'a> {
             .map(|_| {
                 Mutex::new(PairState {
                     runtime: None,
+                    shared: None,
                     results: Vec::new(),
                     remaining: 0,
                     reduced: None,
@@ -663,24 +709,45 @@ impl<'a> Verifier<'a> {
                     commit_pair(p, reduced, handle);
                     return;
                 }
+                let shared = self
+                    .config
+                    .shared_km
+                    .then(|| verifier.prepare_shared(&graph));
                 {
                     let mut state = pair_states[p].lock().expect("pair state poisoned");
                     state.results = vec![None; inits];
                     state.remaining = inits;
+                    state.shared = shared;
                     state.runtime = Some(Arc::new(PairRuntime { verifier, graph }));
                 }
-                for pos in 0..inits {
-                    handle.push(Job::Query(p, pos));
+                if self.config.shared_km {
+                    // Shared arena: the pair's queries run as a sequential
+                    // chain (each pushes the next), extending one arena in
+                    // initial-state order — the canonical order, so the
+                    // arena's evolution is identical at every thread count.
+                    handle.push(Job::Query(p, 0));
+                } else {
+                    for pos in 0..inits {
+                        handle.push(Job::Query(p, pos));
+                    }
                 }
             }
             Job::Query(p, pos) => {
-                let runtime = pair_states[p]
-                    .lock()
-                    .expect("pair state poisoned")
-                    .runtime
-                    .clone()
-                    .expect("graph is built before its queries are pushed");
-                let result = runtime.verifier.init_queries(&runtime.graph, pos);
+                let (runtime, mut shared) = {
+                    let mut state = pair_states[p].lock().expect("pair state poisoned");
+                    (
+                        state
+                            .runtime
+                            .clone()
+                            .expect("graph is built before its queries are pushed"),
+                        state.shared.take(),
+                    )
+                };
+                let result = match shared.as_mut() {
+                    Some(sh) => runtime.verifier.init_queries_shared(&runtime.graph, pos, sh),
+                    None => runtime.verifier.init_queries(&runtime.graph, pos),
+                };
+                let chained = shared.is_some();
                 let reduced = {
                     let mut state = pair_states[p].lock().expect("pair state poisoned");
                     state.results[pos] = Some(result);
@@ -694,11 +761,14 @@ impl<'a> Verifier<'a> {
                             .collect();
                         Some(TaskVerifier::reduce_queries(&runtime.graph, per_init))
                     } else {
+                        state.shared = shared.take();
                         None
                     }
                 };
-                if let Some(reduced) = reduced {
-                    commit_pair(p, reduced, handle);
+                match reduced {
+                    Some(reduced) => commit_pair(p, reduced, handle),
+                    None if chained => handle.push(Job::Query(p, pos + 1)),
+                    None => {}
                 }
             }
         });

@@ -107,8 +107,11 @@ mod tests {
     use has_sim::ScriptMove;
     use has_workloads::generator::{GeneratorParams, Plant};
 
-    /// The returning plant's witness lowers to: open `Probe`, run its empty
-    /// script, close it — followed by the root's pump cycle.
+    /// The returning plant's witness lowers to opening `Probe`, running its
+    /// empty script and closing it. The root's pump cycle may itself open
+    /// and close the child again (the cycle search is free to pick any
+    /// non-negative closed walk), so the lowering guarantees balanced
+    /// open/close pairs rather than an exact count.
     #[test]
     fn returning_witness_lowers_to_open_and_close() {
         let inst = instance(&GeneratorParams::default(), Plant::Returning);
@@ -134,8 +137,8 @@ mod tests {
             .iter()
             .filter(|m| matches!(m, ScriptMove::Close(_)))
             .count();
-        assert_eq!(opens, 1);
-        assert_eq!(closes, 1);
+        assert!(opens >= 1, "the Probe call must be opened");
+        assert_eq!(opens, closes, "every opened child is closed");
         let Some(ScriptMove::Open { script: child, .. }) = script
             .moves
             .iter()

@@ -23,11 +23,11 @@ pub const OMEGA: u64 = u64::MAX;
 pub type Marking = Vec<u64>;
 
 /// Sentinel for "no parent node / no incoming action" in the dense arrays.
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
 
 /// Adds `delta` to `marking` into `out` (ω absorbs). Returns `false` when a
 /// non-ω coordinate would go negative.
-fn add_into(marking: &[u64], delta: &[i64], out: &mut [u64]) -> bool {
+pub(crate) fn add_into(marking: &[u64], delta: &[i64], out: &mut [u64]) -> bool {
     for ((m, d), o) in marking.iter().zip(delta).zip(out.iter_mut()) {
         if *m == OMEGA {
             *o = OMEGA;
@@ -88,7 +88,7 @@ pub struct CoverabilityGraph {
 }
 
 /// Deterministic hash of an interner key (control state + marking row).
-fn hash_key(state: u32, row: &[u64]) -> u64 {
+pub(crate) fn hash_key(state: u32, row: &[u64]) -> u64 {
     let mut h = FxHasher::default();
     h.write_u32(state);
     for &w in row {

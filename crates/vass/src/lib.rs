@@ -44,6 +44,7 @@ pub mod bounded;
 pub mod coverability;
 pub mod cycle;
 pub mod dense;
+pub mod shared;
 pub mod vass;
 pub mod zrelax;
 
@@ -54,6 +55,7 @@ pub use cycle::{
     strongly_connected_components, CycleSearch, DeltaEdge,
 };
 pub use dense::{fx_hash, BitSet, FxBuildHasher, FxHashMap, FxHasher, Interner};
+pub use shared::{SharedCoverability, SharedRun};
 pub use vass::{Action, ActionCsr, Vass};
 pub use zrelax::{
     certified_bounded_dims, control_reachable, counter_dfa_refutes, z_cover_feasible,

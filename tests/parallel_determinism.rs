@@ -108,6 +108,36 @@ fn witness_reconstruction_is_deterministic_across_thread_counts() {
     );
 }
 
+/// The shared Karp–Miller arena (DESIGN.md §5.12) chains a pair's queries
+/// sequentially while pairs still fan out, so the contract extends to it:
+/// with `shared_km` pinned on (immune to a `HAS_SHARED_KM` opt-out in the
+/// environment), outcomes, witnesses and the new reuse/subsumption counters
+/// must stay byte-identical at every thread count — on the travel workload
+/// and the scheduler's deep-narrow worst case.
+#[test]
+fn shared_km_is_deterministic_across_thread_counts() {
+    let config = capped().with_shared_km(true).with_witnesses(true);
+    for variant in [TravelVariant::Buggy, TravelVariant::Fixed] {
+        let t = travel_booking(variant);
+        let property = travel_property(&t);
+        assert_identical_across_threads(
+            &format!("travel/{variant:?}+shared-km"),
+            &t.system,
+            &property,
+            config.clone(),
+            &[2, 8],
+        );
+    }
+    let generated = GeneratorParams::deep_narrow(6).generate();
+    assert_identical_across_threads(
+        &format!("{}+shared-km", generated.label),
+        &generated.system,
+        &generated.property,
+        config,
+        &[1, 2, 8],
+    );
+}
+
 #[test]
 fn order_fulfilment_is_deterministic_across_thread_counts() {
     let o = order_fulfilment();
